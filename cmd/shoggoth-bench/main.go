@@ -1,0 +1,97 @@
+// Command shoggoth-bench regenerates every table and figure of the paper's
+// evaluation section and prints measured values next to the paper's.
+//
+// Usage:
+//
+//	shoggoth-bench                 # all experiments, quick mode (1 cycle)
+//	shoggoth-bench -full           # paper-scale mode (2 cycles)
+//	shoggoth-bench -exp table3     # one experiment: table1 fig4 table2 table3 fig5 extra
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"shoggoth/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shoggoth-bench: ")
+
+	full := flag.Bool("full", false, "paper-scale runs (two scenario cycles per run)")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, table2, table3, fig5, extra or all")
+	seed := flag.Uint64("seed", 1, "run seed")
+	flag.Parse()
+
+	mode := experiments.Quick()
+	if *full {
+		mode = experiments.Full()
+	}
+	mode.Seed = *seed
+
+	want := strings.ToLower(*exp)
+	run := func(name string) bool { return want == "all" || want == name }
+
+	var t1 *experiments.Table1Result
+	if run("table1") || run("fig5") {
+		start := time.Now()
+		var err error
+		t1, err = experiments.Table1(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if run("table1") {
+			fmt.Println(t1.Render())
+			fmt.Printf("(table1 took %.0fs)\n\n", time.Since(start).Seconds())
+		}
+	}
+	if run("fig4") {
+		start := time.Now()
+		f4, err := experiments.Figure4(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f4.Render())
+		fmt.Printf("(fig4 took %.0fs)\n\n", time.Since(start).Seconds())
+	}
+	if run("table2") {
+		start := time.Now()
+		t2, err := experiments.Table2(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t2.Render())
+		fmt.Printf("(table2 took %.0fs)\n\n", time.Since(start).Seconds())
+	}
+	if run("table3") {
+		start := time.Now()
+		t3, err := experiments.Table3(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t3.Render())
+		fmt.Printf("(table3 took %.0fs)\n\n", time.Since(start).Seconds())
+	}
+	if run("fig5") {
+		start := time.Now()
+		f5, err := experiments.Figure5(mode, t1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f5.Render())
+		fmt.Printf("(fig5 took %.0fs)\n\n", time.Since(start).Seconds())
+	}
+	if run("extra") {
+		start := time.Now()
+		ex, err := experiments.Extra(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ex.Render())
+		fmt.Printf("(extra took %.0fs)\n\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,35 @@
+// Command shoggoth-cloud runs the cloud half of the Shoggoth protocol as a
+// real HTTP service: online labeling by the shared teacher model plus the
+// per-device sampling-rate controller. Pair it with cmd/shoggoth-edge.
+//
+//	shoggoth-cloud -addr :8700 -profile ua-detrac
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"shoggoth/internal/rpc"
+	"shoggoth/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shoggoth-cloud: ")
+
+	addr := flag.String("addr", ":8700", "listen address")
+	profileName := flag.String("profile", video.ProfileDETRAC, "dataset profile the edges stream")
+	seed := flag.Uint64("seed", 7, "teacher seed")
+	flag.Parse()
+
+	profile, err := video.ProfileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := rpc.NewServer(profile, *seed)
+	log.Printf("serving %s labeling + rate control on %s", profile.Name, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Command shoggoth-edge runs the edge half of the Shoggoth protocol against
+// a shoggoth-cloud server: real-time inference over a drifting synthetic
+// stream, adaptive frame sampling at the cloud-commanded rate, and
+// latent-replay fine-tuning on the labels the cloud returns.
+//
+//	shoggoth-edge -cloud http://localhost:8700 -profile ua-detrac -duration 480
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"shoggoth/internal/detect"
+	"shoggoth/internal/edge"
+	"shoggoth/internal/metrics"
+	"shoggoth/internal/rpc"
+	"shoggoth/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shoggoth-edge: ")
+
+	cloudURL := flag.String("cloud", "http://localhost:8700", "cloud server base URL")
+	profileName := flag.String("profile", video.ProfileDETRAC, "dataset profile to stream")
+	device := flag.String("device", "edge-1", "device id")
+	duration := flag.Float64("duration", 480, "stream seconds to process")
+	seed := flag.Uint64("seed", 1, "stream seed")
+	batchFrames := flag.Int("batch", 40, "labeled frames per training session")
+	flag.Parse()
+
+	profile, err := video.ProfileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("pretraining student for %s…", profile.Name)
+	rng := rand.New(rand.NewPCG(profile.Seed, 3))
+	student := detect.NewPretrainedStudent(profile, rng)
+	trainer := detect.NewTrainer(student, detect.DefaultTrainerConfig(), rng)
+	sampler := edge.NewSampler(0.5)
+	client := rpc.NewClient(*cloudURL, *device)
+
+	stream := video.NewStream(profile, *seed)
+	col := metrics.NewCollector()
+	var alphaAcc metrics.Running
+	var buffer []video.Frame
+	var pending []detect.LabeledRegion
+	pendingFrames, sessions := 0, 0
+
+	frames := int(*duration * profile.FPS)
+	log.Printf("streaming %d frames to %s as %q", frames, *cloudURL, *device)
+	for i := 0; i < frames; i++ {
+		f := stream.Next()
+		inf := student.Infer(f)
+		var gts []metrics.GT
+		for _, pr := range f.Proposals {
+			if pr.GT != nil {
+				gts = append(gts, metrics.GT{Frame: f.Index, Class: pr.GT.Class, Box: pr.GT.Box})
+			}
+		}
+		evs := make([]metrics.Det, len(inf.Detections))
+		for j, d := range inf.Detections {
+			evs[j] = metrics.Det{Frame: f.Index, Class: d.Class, Confidence: d.Confidence, Box: d.Box}
+		}
+		col.AddFrame(f.Index, f.Time, gts, evs)
+		for _, c := range inf.Confidences {
+			if c >= 0.5 {
+				alphaAcc.Add(1)
+			} else {
+				alphaAcc.Add(0)
+			}
+		}
+
+		if sampler.Sample(f.Time) {
+			buffer = append(buffer, *f)
+		}
+		if len(buffer) >= 20 {
+			resp, err := client.Label(buffer, alphaAcc.Mean(), 0.55)
+			if err != nil {
+				log.Fatal(err)
+			}
+			alphaAcc.Reset()
+			for j := range buffer {
+				pending = append(pending,
+					detect.BuildTrainingBatch(&buffer[j], resp.Labels[j], profile.BackgroundClass())...)
+			}
+			pendingFrames += len(buffer)
+			buffer = buffer[:0]
+			sampler.SetRate(resp.NewRate)
+			log.Printf("t=%5.1fs labeled 20 frames, φ=%.2f, rate → %.2f fps", f.Time, resp.PhiMean, resp.NewRate)
+		}
+		if pendingFrames >= *batchFrames {
+			stats := trainer.RunSession(pending)
+			sessions++
+			log.Printf("t=%5.1fs training session %d: %d samples, loss %.3f",
+				f.Time, sessions, stats.NewSamples, stats.AvgClassLoss)
+			pending = nil
+			pendingFrames = 0
+		}
+	}
+
+	fmt.Printf("device %s: mAP@0.5 %.1f%% over %d frames, %d sessions\n",
+		*device, col.MAP50()*100, col.Frames(), sessions)
+}

@@ -1,0 +1,94 @@
+// Command shoggoth-sim runs one strategy on one dataset profile and prints
+// the paper's metrics (mAP@0.5, up/down bandwidth, average FPS).
+//
+// Usage:
+//
+//	shoggoth-sim -profile ua-detrac -strategy shoggoth -duration 1440 -seed 1
+//	shoggoth-sim -profile kitti -strategy all -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"strings"
+
+	"shoggoth/internal/core"
+	"shoggoth/internal/detect"
+	"shoggoth/internal/strategy"
+	"shoggoth/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shoggoth-sim: ")
+
+	profileName := flag.String("profile", video.ProfileDETRAC, "dataset profile: ua-detrac, kitti or waymo")
+	strategyName := flag.String("strategy", "shoggoth", "strategy: edge-only, cloud-only, prompt, ams, shoggoth or all")
+	duration := flag.Float64("duration", 0, "stream duration in seconds (0 = two script cycles)")
+	seed := flag.Uint64("seed", 1, "run seed")
+	rate := flag.Float64("rate", 0, "fixed sampling rate in fps (0 = strategy default)")
+	asJSON := flag.Bool("json", false, "emit JSON instead of text")
+	flag.Parse()
+
+	profile, err := video.ProfileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kinds, err := parseStrategies(*strategyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pretrain once; every strategy deploys the identical model.
+	pretrained := detect.NewPretrainedStudent(profile, rand.New(rand.NewPCG(profile.Seed, 3)))
+
+	var all []*core.Results
+	for _, kind := range kinds {
+		cfg := core.NewConfig(kind, profile)
+		cfg.Seed = *seed
+		cfg.Pretrained = pretrained
+		if *duration > 0 {
+			cfg.DurationSec = *duration
+		}
+		if *rate > 0 {
+			cfg.SampleRate = *rate
+		}
+		res, err := core.RunExperiment(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		all = append(all, res)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("profile=%s duration=%.0fs seed=%d\n\n", profile.Name, all[0].Duration, *seed)
+	fmt.Printf("%-11s %9s %9s %9s %8s %9s %9s %9s\n",
+		"strategy", "mAP@0.5", "avgIoU", "up Kbps", "dn Kbps", "fps", "sessions", "sampled")
+	for _, r := range all {
+		fmt.Printf("%-11s %8.1f%% %9.3f %9.0f %8.0f %9.1f %9d %9d\n",
+			r.Strategy, r.MAP50*100, r.AvgIoU, r.UpKbps, r.DownKbps, r.AvgFPS, r.Sessions, r.SampledFrames)
+	}
+}
+
+func parseStrategies(name string) ([]core.StrategyKind, error) {
+	if strings.EqualFold(name, "all") {
+		return core.StrategyKinds(), nil
+	}
+	kind, err := strategy.Parse(name)
+	if err != nil {
+		return nil, err
+	}
+	return []core.StrategyKind{kind}, nil
+}

@@ -1,0 +1,62 @@
+// Ablation walk-through of adaptive training (paper §III-B, Table II): how
+// the replay-layer placement and freezing policy trade accuracy against
+// on-device training time. Uses the public simulation API for accuracy and
+// the cost model for session timing.
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shoggoth"
+	"shoggoth/internal/detect"
+	"shoggoth/internal/edge"
+)
+
+func main() {
+	profile, err := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	variants := []struct {
+		name   string
+		mutate func(*detect.TrainerConfig)
+	}{
+		{"Ours (pool replay)", func(c *detect.TrainerConfig) {}},
+		{"Input replay", func(c *detect.TrainerConfig) { c.Placement = detect.PlacementInput }},
+		{"Completely frozen", func(c *detect.TrainerConfig) { c.CompletelyFrozen = true }},
+		{"Conv5_4 replay", func(c *detect.TrainerConfig) { c.Placement = detect.PlacementConv54 }},
+		{"No replay memory", func(c *detect.TrainerConfig) { c.NoReplay = true }},
+	}
+
+	cost := edge.DefaultCostModel()
+	fmt.Printf("adaptive-training ablation on %s (one scenario cycle)\n\n", profile.Name)
+	fmt.Printf("%-19s %9s %10s %10s %11s\n", "variant", "mAP@0.5", "fwd s", "bwd s", "session s")
+	for _, v := range variants {
+		cfg := shoggoth.NewConfig(shoggoth.Shoggoth, profile, shoggoth.WithCycles(1))
+		v.mutate(&cfg.Trainer)
+
+		res, err := shoggoth.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tc := detect.DefaultTrainerConfig()
+		v.mutate(&tc)
+		nReplay := 1500
+		if tc.NoReplay {
+			nReplay = 0
+		}
+		sc := cost.Session(tc, false, 300, nReplay)
+		fmt.Printf("%-19s %8.1f%% %10.1f %10.1f %11.1f\n",
+			v.name, res.MAP50*100, sc.ForwardSec, sc.BackwardSec, sc.TotalSec())
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  • pool replay trains only the head on cached activations: fast and accurate;")
+	fmt.Println("  • raw-input replay is aging-free but sessions take minutes, so the deployed")
+	fmt.Println("    model is chronically stale and accuracy drops;")
+	fmt.Println("  • without replay, catastrophic forgetting erases earlier domains.")
+}

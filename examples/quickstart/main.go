@@ -1,0 +1,42 @@
+// Quickstart: run the Shoggoth strategy on the UA-DETRAC-like profile for a
+// few minutes of stream time and print the paper's headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shoggoth"
+)
+
+func main() {
+	profile, err := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One pass of the drifting scenario (sunny → cloudy → rainy → night …).
+	cfg := shoggoth.NewConfig(shoggoth.Shoggoth, profile,
+		shoggoth.WithCycles(1), shoggoth.WithSeed(1))
+
+	fmt.Println("running Shoggoth on", profile.Name, "for", cfg.DurationSec, "seconds of stream time…")
+	res, err := shoggoth.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println(res) // one-line summary
+	fmt.Println()
+	fmt.Printf("  mAP@0.5          %.1f%%\n", res.MAP50*100)
+	fmt.Printf("  average IoU      %.3f\n", res.AvgIoU)
+	fmt.Printf("  uplink           %.0f Kbps (sampled %d frames)\n", res.UpKbps, res.SampledFrames)
+	fmt.Printf("  downlink         %.0f Kbps (labels only — decoupled distillation)\n", res.DownKbps)
+	fmt.Printf("  average FPS      %.1f (dips to ~15 during %d training sessions)\n", res.AvgFPS, res.Sessions)
+	if len(res.RateSeries) > 0 {
+		fmt.Printf("  sampling rate    %.2f → %.2f fps (adaptive, bounds [0.1, 2.0])\n",
+			res.RateSeries[0].Rate, res.RateSeries[len(res.RateSeries)-1].Rate)
+	}
+}

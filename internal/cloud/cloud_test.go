@@ -1,0 +1,179 @@
+package cloud
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"shoggoth/internal/detect"
+	"shoggoth/internal/video"
+)
+
+func TestControllerClampsToRateBounds(t *testing.T) {
+	cfg := DefaultControllerConfig()
+	c := NewController(cfg)
+	// Extreme inputs must never leave [RMin, RMax].
+	f := func(phi, alpha, lambda float64) bool {
+		r := c.Update(sanitize(phi), sanitize(alpha), sanitize(lambda))
+		return r >= cfg.RMin && r <= cfg.RMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerRaisesRateOnHighPhi(t *testing.T) {
+	cfg := DefaultControllerConfig()
+	c := NewController(cfg)
+	base := c.Rate()
+	r := c.Update(cfg.PhiTarget+0.2, cfg.AlphaTarget+0.1, 0.5) // labels churning above target
+	if r <= base {
+		t.Fatalf("φ above target should raise the rate: %v -> %v", base, r)
+	}
+	c2 := NewController(cfg)
+	r2 := c2.Update(cfg.PhiTarget-0.3, cfg.AlphaTarget+0.1, 0.5)
+	if r2 >= base {
+		t.Fatalf("φ below target should lower the rate: %v -> %v", base, r2)
+	}
+}
+
+func TestControllerRaisesRateOnLowAlpha(t *testing.T) {
+	c := NewController(DefaultControllerConfig())
+	base := c.Rate()
+	r := c.Update(DefaultControllerConfig().PhiTarget, 0.2, 0.5) // inaccurate
+	if r <= base {
+		t.Fatalf("low α should raise the rate: %v -> %v", base, r)
+	}
+}
+
+func TestControllerDecaysOnStationaryAccurateScene(t *testing.T) {
+	c := NewController(DefaultControllerConfig())
+	for i := 0; i < 20; i++ {
+		c.Update(0.02, 0.95, 0.5) // stationary, accurate, steady load
+	}
+	if c.Rate() > 0.3 {
+		t.Fatalf("stationary accurate scene should drive the rate down, got %v", c.Rate())
+	}
+	if c.Rate() < DefaultControllerConfig().RMin {
+		t.Fatal("rate below RMin")
+	}
+}
+
+func TestControllerConvergesNearTargets(t *testing.T) {
+	// At φ exactly on target, high α and steady λ, the rate should be
+	// approximately preserved (R(φ)=0, R(α)=0, R(λ)=r_t).
+	cfg := DefaultControllerConfig()
+	c := NewController(cfg)
+	c.Update(cfg.PhiTarget, cfg.AlphaTarget+0.1, 0.5)
+	r1 := c.Rate()
+	r2 := c.Update(cfg.PhiTarget, cfg.AlphaTarget+0.1, 0.5)
+	if math.Abs(r2-r1) > 1e-9 {
+		t.Fatalf("on-target inputs should hold the rate: %v -> %v", r1, r2)
+	}
+}
+
+func TestControllerLambdaTermScalesBaseRate(t *testing.T) {
+	cfg := DefaultControllerConfig()
+	c := NewController(cfg)
+	c.Update(cfg.PhiTarget, 1, 0.5)
+	r1 := c.Rate()
+	// λ jumps by +0.3: R(λ) = (1+0.3)·r_t per Eq. (3).
+	r2 := c.Update(cfg.PhiTarget, 1, 0.8)
+	want := math.Min(cfg.RMax, 1.3*r1)
+	if math.Abs(r2-want) > 1e-9 {
+		t.Fatalf("λ term wrong: got %v want %v", r2, want)
+	}
+}
+
+func TestLabelerPhiLowForStationaryScene(t *testing.T) {
+	p := video.DETRACProfile()
+	p.Script = []video.Segment{{DomainIndex: 0, Duration: 3600}}
+	p.TransitionSec = 0
+	rng := rand.New(rand.NewPCG(1, 1))
+	lab := NewLabeler(detect.NewTeacher(p, rng), DefaultLabelerConfig())
+	stream := video.NewStream(p, 1)
+
+	var phis []float64
+	for i := 0; i < 90; i++ { // 3 seconds of frames, label every 15th (0.5s apart)
+		f := stream.Next()
+		if i%15 != 0 {
+			continue
+		}
+		res := lab.LabelFrame(f)
+		if i > 0 {
+			phis = append(phis, res.Phi)
+		}
+	}
+	var mean float64
+	for _, v := range phis {
+		mean += v
+	}
+	mean /= float64(len(phis))
+	if mean > 0.6 {
+		t.Fatalf("stationary scene φ should be low-ish, got %v", mean)
+	}
+	for _, v := range phis {
+		if v < 0 || v > 1 {
+			t.Fatalf("φ out of [0,1]: %v", v)
+		}
+	}
+}
+
+func TestLabelerPhiFirstFrameZero(t *testing.T) {
+	p := video.DETRACProfile()
+	rng := rand.New(rand.NewPCG(2, 2))
+	lab := NewLabeler(detect.NewTeacher(p, rng), DefaultLabelerConfig())
+	res := lab.LabelFrame(video.NewStream(p, 2).Next())
+	if res.Phi != 0 {
+		t.Fatalf("first frame φ must be 0, got %v", res.Phi)
+	}
+	if res.ServiceSec <= 0 {
+		t.Fatal("labeling must consume teacher time")
+	}
+}
+
+func TestPhiGrowsWithSamplingInterval(t *testing.T) {
+	// The controller's negative-feedback property: the longer the gap
+	// between labeled frames, the more the scene (tracks, positions) has
+	// changed, so φ must grow with the sampling interval. This is what
+	// makes Eq. (2) self-stabilising — low rates push φ above target,
+	// which pushes the rate back up.
+	p := video.DETRACProfile()
+	p.Script = []video.Segment{{DomainIndex: 0, Duration: 3600}}
+	p.TransitionSec = 0
+
+	phiAtStride := func(stride int) float64 {
+		rng := rand.New(rand.NewPCG(3, 3))
+		lab := NewLabeler(detect.NewTeacher(p, rng), DefaultLabelerConfig())
+		stream := video.NewStream(p, 3)
+		var sum float64
+		n := 0
+		for i := 0; i < 3600; i++ { // 2 minutes
+			f := stream.Next()
+			if i%stride != 0 {
+				continue
+			}
+			res := lab.LabelFrame(f)
+			if i == 0 {
+				continue
+			}
+			sum += res.Phi
+			n++
+		}
+		return sum / float64(n)
+	}
+
+	fast := phiAtStride(15) // 2 fps sampling
+	slow := phiAtStride(90) // 0.33 fps sampling
+	if slow <= fast {
+		t.Fatalf("φ should grow with the sampling interval: 2fps=%v 0.33fps=%v", fast, slow)
+	}
+}
+
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 10)
+}

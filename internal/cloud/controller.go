@@ -1,0 +1,87 @@
+// Package cloud implements the cloud side of Shoggoth: the online labeler
+// (the teacher model behind a V100-like latency model), the φ label-change
+// metric, and the sampling-rate controller of §III-C that adjusts each edge
+// device's frame sampling rate from φ, α and λ.
+package cloud
+
+import (
+	"shoggoth/internal/tensor"
+)
+
+// ControllerConfig holds the Eq. (2)–(3) parameters.
+type ControllerConfig struct {
+	PhiTarget   float64 // φ_target: desired label change rate per sample
+	AlphaTarget float64 // α_target: desired estimated accuracy
+	EtaR        float64 // ηr: φ step size
+	EtaAlpha    float64 // ηα: α step size
+	RMin        float64 // paper: 0.1 fps
+	RMax        float64 // paper: 2.0 fps
+	InitialRate float64
+}
+
+// DefaultControllerConfig returns the calibrated controller parameters with
+// the paper's rate bounds.
+func DefaultControllerConfig() ControllerConfig {
+	return ControllerConfig{
+		PhiTarget:   0.95,
+		AlphaTarget: 0.76,
+		EtaR:        0.4,
+		EtaAlpha:    6.0,
+		RMin:        0.1,
+		RMax:        2.0,
+		InitialRate: 0.5,
+	}
+}
+
+// Controller implements the sampling-rate controller:
+//
+//	r_{t+1} = [ R(φ) + R(α) + R(λ) ]^{rmax}_{rmin}
+//	R(φ) = ηr·(φ̄_t − φ_target)
+//	R(α) = ηα·max(0, α_target − α_t)
+//	R(λ) = (1 + λ̄_{t+1} − λ̄_t)·r_t
+//
+// The formulas follow Eq. (3) verbatim, including the resource term's sign
+// convention (a rising λ̄ scales the base rate up before clamping).
+type Controller struct {
+	Config ControllerConfig
+
+	rate       float64
+	lastLambda float64
+	haveLambda bool
+}
+
+// NewController creates a controller at the configured initial rate.
+func NewController(cfg ControllerConfig) *Controller {
+	rate := cfg.InitialRate
+	if rate == 0 {
+		rate = cfg.RMin
+	}
+	return &Controller{Config: cfg, rate: tensor.Clamp(rate, cfg.RMin, cfg.RMax)}
+}
+
+// Rate returns the current sampling rate r_t.
+func (c *Controller) Rate() float64 { return c.rate }
+
+// Update consumes the period's mean φ̄, the estimated accuracy α since the
+// last adaptive training, and the mean resource usage λ̄, returning r_{t+1}.
+func (c *Controller) Update(phiBar, alpha, lambdaBar float64) float64 {
+	cfg := c.Config
+	rPhi := cfg.EtaR * (phiBar - cfg.PhiTarget)
+	rAlpha := cfg.EtaAlpha * maxF(0, cfg.AlphaTarget-alpha)
+	prevLambda := c.lastLambda
+	if !c.haveLambda {
+		prevLambda = lambdaBar
+		c.haveLambda = true
+	}
+	rLambda := (1 + lambdaBar - prevLambda) * c.rate
+	c.lastLambda = lambdaBar
+	c.rate = tensor.Clamp(rPhi+rAlpha+rLambda, cfg.RMin, cfg.RMax)
+	return c.rate
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package cloud
+
+import (
+	"shoggoth/internal/detect"
+	"shoggoth/internal/geom"
+	"shoggoth/internal/video"
+)
+
+// LabelerConfig models the cloud inference service.
+type LabelerConfig struct {
+	// TeacherLatencySec is the golden model's per-frame inference time on
+	// the V100-class server.
+	TeacherLatencySec float64
+}
+
+// DefaultLabelerConfig returns the calibrated V100-class latency.
+func DefaultLabelerConfig() LabelerConfig {
+	return LabelerConfig{TeacherLatencySec: 0.045}
+}
+
+// Labeler runs the teacher over uploaded frames, producing distillation
+// labels and the φ change signal. One labeler serves one edge device's
+// stream state (the previous labels needed for φ).
+type Labeler struct {
+	Config  LabelerConfig
+	Teacher *detect.Teacher
+
+	prevLabels []detect.TeacherLabel
+	prevBoxes  map[int]geom.Box // proposal boxes of the previous labeled frame
+	havePrev   bool
+}
+
+// NewLabeler creates a labeler around a teacher.
+func NewLabeler(t *detect.Teacher, cfg LabelerConfig) *Labeler {
+	return &Labeler{Config: cfg, Teacher: t}
+}
+
+// LabelResult is the outcome of labeling one frame.
+type LabelResult struct {
+	Labels []detect.TeacherLabel
+	// Phi is the label-change loss of this frame versus the previously
+	// labeled frame (0 for the first frame): the teacher-label drift signal
+	// of §III-C.
+	Phi float64
+	// ServiceSec is the teacher inference time consumed.
+	ServiceSec float64
+}
+
+// LabelFrame labels a frame and computes φ against the previous labeled
+// frame of this device.
+func (l *Labeler) LabelFrame(f *video.Frame) LabelResult {
+	labels := l.Teacher.Label(f)
+	res := LabelResult{Labels: labels, ServiceSec: l.Config.TeacherLatencySec}
+	boxes := make(map[int]geom.Box, len(f.Proposals))
+	for i, pr := range f.Proposals {
+		boxes[i] = pr.Anchor
+	}
+	if l.havePrev {
+		res.Phi = labelChangeLoss(l.Teacher, l.prevLabels, l.prevBoxes, labels, boxes)
+	}
+	l.prevLabels = labels
+	l.prevBoxes = boxes
+	l.havePrev = true
+	return res
+}
+
+// labelChangeLoss measures how much the teacher's labels changed between
+// consecutive sampled frames: the same detection-style loss used for the
+// task, with T(I_{k-1}) as ground truth and T(I_k) as prediction. Matched
+// same-class detections contribute their localisation disagreement (1−IoU);
+// unmatched detections on either side contribute 1 each. The result is
+// normalised to [0, 1]. Stationary scenes score near 0.
+func labelChangeLoss(t *detect.Teacher, aLabels []detect.TeacherLabel, aBoxes map[int]geom.Box,
+	bLabels []detect.TeacherLabel, bBoxes map[int]geom.Box) float64 {
+
+	a := t.Detections(aLabels)
+	b := t.Detections(bLabels)
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	usedB := make([]bool, len(b))
+	var loss float64
+	matched := 0
+	for _, da := range a {
+		bestIoU, bestJ := 0.0, -1
+		for j, db := range b {
+			if usedB[j] || db.Class != da.Class {
+				continue
+			}
+			if iou := geom.IoU(da.Box, db.Box); iou > bestIoU {
+				bestIoU, bestJ = iou, j
+			}
+		}
+		if bestJ >= 0 && bestIoU > 0.1 {
+			usedB[bestJ] = true
+			matched++
+			loss += 1 - bestIoU
+		} else {
+			loss += 1 // disappeared or changed class
+		}
+	}
+	for j := range b {
+		if !usedB[j] {
+			loss += 1 // newly appeared
+		}
+	}
+	denom := float64(len(a) + len(b) - matched)
+	if denom <= 0 {
+		return 0
+	}
+	return loss / denom
+}

@@ -1,0 +1,165 @@
+// Package core ties every substrate together into the paper's system: the
+// edge device running real-time inference and adaptive training, the cloud
+// running online labeling and the sampling-rate controller, and the network
+// between them — executed on a virtual clock. One System supports all five
+// evaluated strategies (Edge-Only, Cloud-Only, Prompt, AMS, Shoggoth) via
+// configuration, since they share the deployment loop.
+package core
+
+import (
+	"fmt"
+
+	"shoggoth/internal/cloud"
+	"shoggoth/internal/detect"
+	"shoggoth/internal/edge"
+	"shoggoth/internal/netsim"
+	"shoggoth/internal/video"
+)
+
+// StrategyKind selects the evaluated strategy.
+type StrategyKind int
+
+// The five strategies of Table I.
+const (
+	EdgeOnly StrategyKind = iota
+	CloudOnly
+	Prompt
+	AMS
+	Shoggoth
+)
+
+// String implements fmt.Stringer.
+func (k StrategyKind) String() string {
+	switch k {
+	case EdgeOnly:
+		return "Edge-Only"
+	case CloudOnly:
+		return "Cloud-Only"
+	case Prompt:
+		return "Prompt"
+	case AMS:
+		return "AMS"
+	case Shoggoth:
+		return "Shoggoth"
+	default:
+		return fmt.Sprintf("StrategyKind(%d)", int(k))
+	}
+}
+
+// StrategyKinds returns all strategies in the paper's column order.
+func StrategyKinds() []StrategyKind {
+	return []StrategyKind{EdgeOnly, CloudOnly, Prompt, AMS, Shoggoth}
+}
+
+// Config fully describes one experiment run.
+type Config struct {
+	Kind        StrategyKind
+	Profile     *video.Profile
+	DurationSec float64
+	Seed        uint64
+
+	// SampleRate fixes the frame sampling rate (fps). 0 means adaptive
+	// (the cloud controller drives it). Prompt uses the fixed maximum
+	// rate (2 fps); Table III sweeps fixed rates.
+	SampleRate float64
+
+	// ConfThreshold is θ for the α accuracy estimate (paper: 0.5).
+	ConfThreshold float64
+	// WindowSec is the bucketing window for per-window mAP (Figure 5).
+	WindowSec float64
+
+	Controller cloud.ControllerConfig
+	Labeler    cloud.LabelerConfig
+	Trainer    detect.TrainerConfig
+	Device     edge.DeviceConfig
+	Cost       edge.CostModel
+	Uplink     netsim.Link
+	Downlink   netsim.Link
+	Codec      netsim.Codec
+
+	// Pretrained, when set, is cloned as the deployed student instead of
+	// pretraining from scratch (lets experiment harnesses pretrain once per
+	// profile and hand every strategy the identical model).
+	Pretrained *detect.Student
+
+	// UploadFrames is the sample-buffer size flushed to the cloud in one
+	// encoded batch.
+	UploadFrames int
+	// UploadMaxWaitSec flushes a partial buffer after this long, keeping
+	// the control loop alive at very low sampling rates.
+	UploadMaxWaitSec float64
+	// BatchFrames is how many labeled sampled frames accumulate before an
+	// adaptive-training session triggers.
+	BatchFrames int
+	// TrainRegionsPerFrame subsamples labeled regions per frame for SGD
+	// (class-balanced hard-example selection; keeps region batches at the
+	// paper's 300-sample scale).
+	TrainRegionsPerFrame int
+
+	// CanonicalBatch/CanonicalReplay are the virtual image counts fed to
+	// the cost model: the paper's 300-image batches with 1500 replay
+	// images, which define session durations (Table II).
+	CanonicalBatch  int
+	CanonicalReplay int
+
+	// AMSCloudSpeedup is how much faster the V100 trains than the edge
+	// board; AMSQuantNoise is the relative weight noise of AMS's
+	// compressed model updates.
+	AMSCloudSpeedup float64
+	AMSQuantNoise   float64
+}
+
+// NewConfig returns the calibrated default configuration for a strategy on
+// a profile.
+func NewConfig(kind StrategyKind, p *video.Profile) Config {
+	cfg := Config{
+		Kind:                 kind,
+		Profile:              p,
+		DurationSec:          2 * p.ScriptDuration(),
+		Seed:                 1,
+		ConfThreshold:        0.5,
+		WindowSec:            10,
+		Controller:           cloud.DefaultControllerConfig(),
+		Labeler:              cloud.DefaultLabelerConfig(),
+		Trainer:              detect.DefaultTrainerConfig(),
+		Device:               edge.DefaultDeviceConfig(),
+		Cost:                 edge.DefaultCostModel(),
+		Uplink:               netsim.DefaultUplink(),
+		Downlink:             netsim.DefaultDownlink(),
+		Codec:                netsim.DefaultCodec(p.BaseFrameKB),
+		UploadFrames:         20,
+		UploadMaxWaitSec:     25,
+		BatchFrames:          75,
+		TrainRegionsPerFrame: 6,
+		CanonicalBatch:       300,
+		CanonicalReplay:      1500,
+		AMSCloudSpeedup:      40,
+		AMSQuantNoise:        0.025,
+	}
+	if kind == Prompt {
+		cfg.SampleRate = cfg.Controller.RMax // fixed 2 fps, no adaptation
+	}
+	return cfg
+}
+
+// Validate rejects inconsistent configurations.
+func (c *Config) Validate() error {
+	if c.Profile == nil {
+		return fmt.Errorf("core: config needs a profile")
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if c.DurationSec <= 0 {
+		return fmt.Errorf("core: non-positive duration")
+	}
+	if c.Kind != EdgeOnly && c.Kind != CloudOnly {
+		if c.UploadFrames <= 0 || c.BatchFrames <= 0 {
+			return fmt.Errorf("core: upload/batch frame counts must be positive")
+		}
+	}
+	if c.SampleRate < 0 {
+		return fmt.Errorf("core: negative sample rate")
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"shoggoth/internal/metrics"
+)
+
+// SessionRecord logs one adaptive-training session (edge or cloud side).
+type SessionRecord struct {
+	Start   float64
+	End     float64
+	Stats   interface{ String() string } // optional detail
+	Applied float64                      // when the new weights took effect
+}
+
+// RatePoint is one sampling-rate command over time.
+type RatePoint struct {
+	Time float64
+	Rate float64
+}
+
+// Results aggregates everything an experiment reports.
+type Results struct {
+	Strategy string
+	Profile  string
+	Duration float64
+
+	MAP50  float64
+	AvgIoU float64
+
+	UpKbps    float64
+	DownKbps  float64
+	UpBytes   int64
+	DownBytes int64
+
+	AvgFPS    float64
+	FPSSeries []float64 // per-second effective FPS (Figure 4 right)
+
+	Sessions     int
+	SessionTimes []SessionRecord
+	RateSeries   []RatePoint
+	PhiMean      float64
+	AlphaMean    float64
+
+	WindowMAPs []metrics.WindowScore
+
+	FramesProcessed int
+	FramesTotal     int
+	SampledFrames   int
+}
+
+// String renders a one-line summary.
+func (r *Results) String() string {
+	return fmt.Sprintf("%s on %s: mAP@0.5=%.1f%% IoU=%.3f up=%.0fKbps down=%.0fKbps fps=%.1f sessions=%d",
+		r.Strategy, r.Profile, r.MAP50*100, r.AvgIoU, r.UpKbps, r.DownKbps, r.AvgFPS, r.Sessions)
+}
+
+// MAPGainSeries returns per-window mAP differences (this minus base),
+// matched by window start time — the quantity whose CDF Figure 5 plots.
+func MAPGainSeries(run, base *Results) []float64 {
+	baseByStart := make(map[float64]float64, len(base.WindowMAPs))
+	for _, w := range base.WindowMAPs {
+		baseByStart[w.Start] = w.MAP
+	}
+	var out []float64
+	for _, w := range run.WindowMAPs {
+		if b, ok := baseByStart[w.Start]; ok {
+			out = append(out, w.MAP-b)
+		}
+	}
+	return out
+}

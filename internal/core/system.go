@@ -1,0 +1,448 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"shoggoth/internal/cloud"
+	"shoggoth/internal/detect"
+	"shoggoth/internal/edge"
+	"shoggoth/internal/metrics"
+	"shoggoth/internal/netsim"
+	"shoggoth/internal/sim"
+	"shoggoth/internal/video"
+)
+
+// System is one simulated deployment: camera → edge device → network →
+// cloud, executing a strategy over a drifting video stream in virtual time.
+type System struct {
+	cfg Config
+
+	rng    *rand.Rand
+	sched  *sim.Scheduler
+	stream *video.Stream
+
+	student *detect.Student
+	teacher *detect.Teacher
+	labeler *cloud.Labeler
+	ctrl    *cloud.Controller
+	device  *edge.Device
+	sampler *edge.Sampler
+	trainer *detect.Trainer // edge-side trainer (Shoggoth/Prompt)
+
+	// AMS: the cloud fine-tunes a copy of the student and streams updates.
+	amsStudent     *detect.Student
+	amsTrainer     *detect.Trainer
+	cloudTrainBusy float64
+
+	cloudBusy float64 // labeling service serialisation
+
+	usage     netsim.Usage
+	collector *metrics.Collector
+	alphaAcc  metrics.Running // α since last report (binary conf ≥ θ)
+	alphaAll  metrics.Running
+	phiAll    metrics.Running
+
+	sampleBuf     []*video.Frame
+	firstBuffered float64
+	pendingBatch  []detect.LabeledRegion
+	batchFrames   int
+	trainBusyTil  float64
+	sessionsSched int
+
+	lastRoundTrip float64 // Cloud-Only pipeline state
+	cloudFreeAt   float64
+
+	results Results
+}
+
+// adaptive reports whether the cloud controller drives the sampling rate.
+func (c *Config) adaptive() bool {
+	return c.SampleRate == 0 && (c.Kind == Shoggoth || c.Kind == AMS)
+}
+
+// NewSystem builds a deployment for the config. If cfg.Pretrained is nil the
+// student is pretrained from the profile's offline dataset (deterministic in
+// the profile seed, so all strategies deploy the identical model).
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x51057E)),
+		sched:     sim.NewScheduler(),
+		collector: metrics.NewCollector(),
+	}
+	s.stream = video.NewStream(cfg.Profile, cfg.Seed)
+	// The teacher is seeded from the run seed only, so every strategy on
+	// the same (profile, seed) sees identical teacher behaviour.
+	s.teacher = detect.NewTeacher(cfg.Profile, rand.New(rand.NewPCG(cfg.Seed, 2)))
+	s.labeler = cloud.NewLabeler(s.teacher, cfg.Labeler)
+	s.device = edge.NewDevice(cfg.Device)
+
+	if cfg.Kind != CloudOnly {
+		if cfg.Pretrained != nil {
+			s.student = cfg.Pretrained.Clone()
+		} else {
+			s.student = detect.NewPretrainedStudent(cfg.Profile, rand.New(rand.NewPCG(cfg.Profile.Seed, 3)))
+		}
+	}
+
+	rate := cfg.SampleRate
+	if cfg.adaptive() {
+		s.ctrl = cloud.NewController(cfg.Controller)
+		rate = s.ctrl.Rate()
+	}
+	s.sampler = edge.NewSampler(rate)
+
+	switch cfg.Kind {
+	case Shoggoth, Prompt:
+		s.trainer = detect.NewTrainer(s.student, cfg.Trainer, rand.New(rand.NewPCG(cfg.Seed, 4)))
+	case AMS:
+		s.amsStudent = s.student.Clone()
+		amsCfg := cfg.Trainer
+		// AMS fine-tunes the entire model in the cloud; its replay buffer
+		// holds raw samples (no latent aging) at the same capacity.
+		amsCfg.Placement = detect.PlacementInput
+		s.amsTrainer = detect.NewTrainer(s.amsStudent, amsCfg, rand.New(rand.NewPCG(cfg.Seed, 5)))
+	}
+	return s, nil
+}
+
+// Run executes the deployment for the configured duration and returns the
+// aggregated results.
+func (s *System) Run() (*Results, error) {
+	cfg := s.cfg
+	fps := cfg.Profile.FPS
+	dt := 1 / fps
+	n := int(cfg.DurationSec * fps)
+	s.lastRoundTrip = 0.2
+
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		s.sched.AdvanceTo(t)
+		f := s.stream.Next()
+		s.results.FramesTotal++
+		if cfg.Kind == CloudOnly {
+			s.cloudOnlyFrame(f, t)
+		} else {
+			s.edgeFrame(f, t, dt)
+		}
+	}
+	s.sched.AdvanceTo(cfg.DurationSec)
+	return s.finalize(), nil
+}
+
+// edgeFrame handles one camera frame on the edge-resident strategies.
+func (s *System) edgeFrame(f *video.Frame, t, dt float64) {
+	cfg := s.cfg
+	if s.device.Tick(t, dt) {
+		res := s.student.Infer(f)
+		s.results.FramesProcessed++
+		s.collect(f, res.Detections)
+		for _, c := range res.Confidences {
+			acc := 0.0
+			if c >= cfg.ConfThreshold {
+				acc = 1
+			}
+			s.alphaAcc.Add(acc)
+			s.alphaAll.Add(acc)
+		}
+	}
+	if cfg.Kind == EdgeOnly {
+		return
+	}
+	if s.sampler.Sample(t) {
+		if len(s.sampleBuf) == 0 {
+			s.firstBuffered = t
+		}
+		s.sampleBuf = append(s.sampleBuf, f)
+		s.results.SampledFrames++
+	}
+	if len(s.sampleBuf) > 0 &&
+		(len(s.sampleBuf) >= cfg.UploadFrames || t-s.firstBuffered >= cfg.UploadMaxWaitSec) {
+		s.flushBuffer(t)
+	}
+}
+
+// flushBuffer encodes and uploads the buffered sample frames together with
+// the edge telemetry (α since last report, λ usage).
+func (s *System) flushBuffer(t float64) {
+	cfg := s.cfg
+	frames := s.sampleBuf
+	s.sampleBuf = nil
+
+	encSec := cfg.Codec.EncodeSeconds(len(frames))
+	s.device.BeginEncoding(t + encSec)
+
+	bytes := netsim.TelemetryBytes()
+	for _, f := range frames {
+		bytes += cfg.Codec.SampledFrameBytes(f.Complexity)
+	}
+	s.usage.AddUp(bytes)
+
+	alpha := s.drainAlpha()
+	lambda := s.device.DrainUsageReport()
+	arrive := t + encSec + cfg.Uplink.TransferSeconds(bytes)
+	s.sched.At(arrive, func(now float64) {
+		s.cloudReceive(frames, alpha, lambda, now)
+	})
+}
+
+// cloudReceive is the cloud's handler for an uploaded sample batch: online
+// labeling, φ computation, controller update, and either label return
+// (Shoggoth/Prompt) or cloud-side training (AMS).
+func (s *System) cloudReceive(frames []*video.Frame, alpha, lambda, now float64) {
+	cfg := s.cfg
+	start := math.Max(now, s.cloudBusy)
+	labels := make([][]detect.TeacherLabel, len(frames))
+	var service float64
+	var phi metrics.Running
+	for i, f := range frames {
+		res := s.labeler.LabelFrame(f)
+		labels[i] = res.Labels
+		service += res.ServiceSec
+		phi.Add(res.Phi)
+		s.phiAll.Add(res.Phi)
+	}
+	done := start + service
+	s.cloudBusy = done
+
+	if s.ctrl != nil {
+		rate := s.ctrl.Update(phi.Mean(), alpha, lambda)
+		s.usage.AddDown(netsim.RateCommandBytes())
+		at := done + cfg.Downlink.TransferSeconds(netsim.RateCommandBytes())
+		s.sched.At(at, func(cmdNow float64) {
+			s.sampler.SetRate(rate)
+			s.results.RateSeries = append(s.results.RateSeries, RatePoint{Time: cmdNow, Rate: rate})
+		})
+	}
+
+	if cfg.Kind == AMS {
+		s.accumulateBatch(frames, labels)
+		s.maybeTrainCloud(done)
+		return
+	}
+
+	nRegions := 0
+	for _, ls := range labels {
+		nRegions += len(ls)
+	}
+	lb := netsim.LabelSetBytes(nRegions)
+	s.usage.AddDown(lb)
+	at := done + cfg.Downlink.TransferSeconds(lb)
+	s.sched.At(at, func(labNow float64) {
+		s.accumulateBatch(frames, labels)
+		s.maybeTrainEdge(labNow)
+	})
+}
+
+// accumulateBatch converts labeled frames into training regions, applying
+// the per-frame subsample that keeps region batches at the paper's scale.
+func (s *System) accumulateBatch(frames []*video.Frame, labels [][]detect.TeacherLabel) {
+	bg := s.cfg.Profile.BackgroundClass()
+	for i, f := range frames {
+		all := detect.BuildTrainingBatch(f, labels[i], bg)
+		s.pendingBatch = append(s.pendingBatch, s.subsample(all)...)
+	}
+	s.batchFrames += len(frames)
+}
+
+// subsample picks up to TrainRegionsPerFrame regions, preferring positives
+// (class-balanced hard-example selection) while keeping some negatives.
+func (s *System) subsample(regions []detect.LabeledRegion) []detect.LabeledRegion {
+	k := s.cfg.TrainRegionsPerFrame
+	if k <= 0 || len(regions) <= k {
+		return regions
+	}
+	bg := s.cfg.Profile.BackgroundClass()
+	var pos, neg []detect.LabeledRegion
+	for _, r := range regions {
+		if r.Class == bg {
+			neg = append(neg, r)
+		} else {
+			pos = append(pos, r)
+		}
+	}
+	s.rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	s.rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	kPos := k - 1
+	if kPos > len(pos) {
+		kPos = len(pos)
+	}
+	out := append([]detect.LabeledRegion(nil), pos[:kPos]...)
+	for len(out) < k && len(neg) > 0 {
+		out = append(out, neg[0])
+		neg = neg[1:]
+	}
+	for len(out) < k && kPos < len(pos) {
+		out = append(out, pos[kPos])
+		kPos++
+	}
+	return out
+}
+
+// maybeTrainEdge schedules an adaptive-training session on the edge device
+// once a full batch of labeled frames has accumulated.
+func (s *System) maybeTrainEdge(now float64) {
+	cfg := s.cfg
+	if s.batchFrames < cfg.BatchFrames {
+		return
+	}
+	batch := s.pendingBatch
+	s.pendingBatch = nil
+	s.batchFrames = 0
+
+	first := s.sessionsSched == 0
+	s.sessionsSched++
+	replayVirtual := cfg.CanonicalReplay
+	if first {
+		replayVirtual = 0
+	}
+	cost := cfg.Cost.Session(cfg.Trainer, first, cfg.CanonicalBatch, replayVirtual)
+	start := math.Max(now, s.trainBusyTil)
+	end := start + cost.TotalSec()
+	s.trainBusyTil = end
+	s.sched.At(start, func(float64) { s.device.BeginTraining(end) })
+	s.sched.At(end, func(endNow float64) {
+		s.trainer.RunSession(batch)
+		s.results.Sessions++
+		s.results.SessionTimes = append(s.results.SessionTimes,
+			SessionRecord{Start: start, End: endNow, Applied: endNow})
+	})
+}
+
+// maybeTrainCloud schedules an AMS cloud-side training round and the model
+// download that follows it.
+func (s *System) maybeTrainCloud(now float64) {
+	cfg := s.cfg
+	if s.batchFrames < cfg.BatchFrames {
+		return
+	}
+	batch := s.pendingBatch
+	s.pendingBatch = nil
+	s.batchFrames = 0
+
+	first := s.sessionsSched == 0
+	s.sessionsSched++
+	replayVirtual := cfg.CanonicalReplay
+	if first {
+		replayVirtual = 0
+	}
+	cost := cfg.Cost.Session(s.amsTrainer.Config, first, cfg.CanonicalBatch, replayVirtual)
+	dur := cost.TotalSec() / cfg.AMSCloudSpeedup
+	start := math.Max(now, s.cloudTrainBusy)
+	end := start + dur
+	s.cloudTrainBusy = end
+	s.sched.At(end, func(endNow float64) {
+		s.amsTrainer.RunSession(batch)
+		s.results.Sessions++
+		bytes := netsim.ModelUpdateBytes()
+		s.usage.AddDown(bytes)
+		arrive := endNow + cfg.Downlink.TransferSeconds(bytes)
+		s.sched.At(arrive, func(applyNow float64) {
+			s.applyAMSUpdate()
+			s.results.SessionTimes = append(s.results.SessionTimes,
+				SessionRecord{Start: start, End: endNow, Applied: applyNow})
+		})
+	})
+}
+
+// applyAMSUpdate installs the streamed model on the edge, with the
+// quantization noise of AMS's compressed updates.
+func (s *System) applyAMSUpdate() {
+	s.student.CopyWeightsFrom(s.amsStudent)
+	if s.cfg.AMSQuantNoise <= 0 {
+		return
+	}
+	for _, p := range s.student.Params() {
+		rms := p.Value.Norm2() / math.Sqrt(float64(len(p.Value.Data)))
+		sigma := s.cfg.AMSQuantNoise * rms
+		for i := range p.Value.Data {
+			p.Value.Data[i] += s.rng.NormFloat64() * sigma
+		}
+	}
+}
+
+// cloudOnlyFrame handles one camera frame under the Cloud-Only strategy:
+// the full stream is uploaded, annotated results stream back, and inference
+// throughput is bounded by the synchronous round-trip pipeline.
+func (s *System) cloudOnlyFrame(f *video.Frame, t float64) {
+	cfg := s.cfg
+	up := cfg.Codec.StreamFrameBytes(f.Complexity, f.Motion)
+	down := cfg.Codec.AnnotatedFrameBytes(f.Complexity, f.Motion)
+	s.usage.AddUp(up)
+	s.usage.AddDown(down)
+
+	if t >= s.cloudFreeAt {
+		rt := cfg.Uplink.TransferSeconds(up) +
+			cfg.Labeler.TeacherLatencySec +
+			cfg.Downlink.TransferSeconds(down)
+		s.cloudFreeAt = t + rt
+		s.lastRoundTrip = rt
+		dets := s.teacher.Detections(s.teacher.Label(f))
+		s.results.FramesProcessed++
+		s.collect(f, dets)
+	}
+	effFPS := math.Min(cfg.Profile.FPS, 1/s.lastRoundTrip)
+	s.device.FPS().Record(t, effFPS)
+}
+
+// collect records one evaluated frame into the metric collector.
+func (s *System) collect(f *video.Frame, dets []detect.Detection) {
+	var gts []metrics.GT
+	for _, pr := range f.Proposals {
+		if pr.GT != nil {
+			gts = append(gts, metrics.GT{Frame: f.Index, Class: pr.GT.Class, Box: pr.GT.Box})
+		}
+	}
+	evs := make([]metrics.Det, len(dets))
+	for i, d := range dets {
+		evs[i] = metrics.Det{Frame: f.Index, Class: d.Class, Confidence: d.Confidence, Box: d.Box}
+	}
+	s.collector.AddFrame(f.Index, f.Time, gts, evs)
+}
+
+// drainAlpha returns the α estimate accumulated since the last report.
+func (s *System) drainAlpha() float64 {
+	if s.alphaAcc.Count() == 0 {
+		return s.cfg.Controller.AlphaTarget // neutral: no evidence either way
+	}
+	m := s.alphaAcc.Mean()
+	s.alphaAcc.Reset()
+	return m
+}
+
+// finalize assembles the Results.
+func (s *System) finalize() *Results {
+	cfg := s.cfg
+	r := &s.results
+	r.Strategy = cfg.Kind.String()
+	r.Profile = cfg.Profile.Name
+	r.Duration = cfg.DurationSec
+	r.MAP50 = s.collector.MAP50()
+	r.AvgIoU = s.collector.AverageIoU()
+	r.UpKbps = s.usage.UpKbps(cfg.DurationSec)
+	r.DownKbps = s.usage.DownKbps(cfg.DurationSec)
+	r.UpBytes = s.usage.UpBytes
+	r.DownBytes = s.usage.DownBytes
+	r.AvgFPS = s.device.FPS().Average()
+	r.FPSSeries = s.device.FPS().Series()
+	r.WindowMAPs = s.collector.WindowedMAP50(cfg.WindowSec)
+	r.PhiMean = s.phiAll.Mean()
+	r.AlphaMean = s.alphaAll.Mean()
+	return r
+}
+
+// Student exposes the deployed edge model (nil for Cloud-Only).
+func (s *System) Student() *detect.Student { return s.student }
+
+// RunExperiment is the one-call convenience API: build a system and run it.
+func RunExperiment(cfg Config) (*Results, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}

@@ -1,0 +1,107 @@
+package detect
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"shoggoth/internal/replay"
+	"shoggoth/internal/video"
+)
+
+func TestInferDetectConsistency(t *testing.T) {
+	p := video.DETRACProfile()
+	rng := rand.New(rand.NewPCG(21, 21))
+	s := NewStudent(p.FeatureDim(), p.NumClasses(), rng)
+	f := video.NewStream(p, 21).Next()
+
+	inf := s.Infer(f)
+	dets := s.Detect(f)
+	if len(inf.Detections) != len(dets) {
+		t.Fatalf("Infer and Detect disagree: %d vs %d", len(inf.Detections), len(dets))
+	}
+	if len(inf.Confidences) != len(f.Proposals) {
+		t.Fatalf("want one confidence per proposal: %d vs %d", len(inf.Confidences), len(f.Proposals))
+	}
+	for _, c := range inf.Confidences {
+		if c <= 0 || c > 1 {
+			t.Fatalf("confidence out of (0,1]: %v", c)
+		}
+	}
+	for _, d := range inf.Detections {
+		if d.Class < 0 || d.Class >= s.BackgroundClass() {
+			t.Fatalf("detection class out of range: %d", d.Class)
+		}
+		if d.Confidence < s.MinConfidence {
+			t.Fatalf("detection below MinConfidence leaked: %v", d.Confidence)
+		}
+		if !d.Box.Valid() {
+			t.Fatal("detection box must be valid")
+		}
+	}
+}
+
+func TestMinConfidenceFiltersDetections(t *testing.T) {
+	p := video.DETRACProfile()
+	rng := rand.New(rand.NewPCG(22, 22))
+	s := NewStudent(p.FeatureDim(), p.NumClasses(), rng)
+	f := video.NewStream(p, 22).Next()
+
+	s.MinConfidence = 0
+	all := len(s.Detect(f))
+	s.MinConfidence = 0.999999
+	few := len(s.Detect(f))
+	if few > all {
+		t.Fatal("raising MinConfidence cannot yield more detections")
+	}
+	if few != 0 {
+		t.Fatalf("an untrained student should emit nothing at ~1.0 threshold, got %d", few)
+	}
+}
+
+func TestTeacherErrorsTemporallyConsistent(t *testing.T) {
+	// Within one error bucket, the teacher's miss/flip decisions for a
+	// track must not flicker frame to frame.
+	p := video.DETRACProfile()
+	rng := rand.New(rand.NewPCG(23, 23))
+	teacher := NewTeacher(p, rng)
+	stream := video.NewStream(p, 23)
+
+	// Collect labels for the same tracks across 30 frames (1 s < bucket).
+	classByTrack := map[int]map[int]bool{} // track -> set of assigned classes
+	for i := 0; i < 30; i++ {
+		f := stream.Next()
+		labels := teacher.Label(f)
+		for _, l := range labels {
+			pr := f.Proposals[l.ProposalIdx]
+			if pr.GT == nil {
+				continue
+			}
+			if classByTrack[pr.TrackID] == nil {
+				classByTrack[pr.TrackID] = map[int]bool{}
+			}
+			classByTrack[pr.TrackID][l.Class] = true
+		}
+	}
+	for track, classes := range classByTrack {
+		if len(classes) > 1 {
+			t.Fatalf("track %d got %d different labels within one error bucket", track, len(classes))
+		}
+	}
+}
+
+func TestFIFOPolicyTrainerStillLearns(t *testing.T) {
+	rng := rand.New(rand.NewPCG(24, 24))
+	p := video.DETRACProfile()
+	s := NewStudent(p.FeatureDim(), p.NumClasses(), rng)
+	cfg := DefaultTrainerConfig()
+	cfg.ReplayPolicy = replay.PolicyFIFO
+	tr := NewTrainer(s, cfg, rng)
+	teacher := NewTeacher(p, rng)
+	stats := tr.RunSession(labeledBatch(p, teacher, 70, 600, 30))
+	if stats.Steps == 0 {
+		t.Fatal("FIFO-policy trainer should still train")
+	}
+	if tr.Memory.Len() == 0 {
+		t.Fatal("FIFO memory should fill")
+	}
+}

@@ -1,0 +1,28 @@
+package detect
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// encodeParts packs multiple byte slices into one gob blob.
+func encodeParts(parts [][]byte) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(parts); err != nil {
+		return nil, fmt.Errorf("detect: encode parts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeParts reverses encodeParts, checking the expected arity.
+func decodeParts(data []byte) ([][]byte, error) {
+	var parts [][]byte
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&parts); err != nil {
+		return nil, fmt.Errorf("detect: decode parts: %w", err)
+	}
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("detect: expected 3 weight parts, got %d", len(parts))
+	}
+	return parts, nil
+}

@@ -1,0 +1,93 @@
+package detect
+
+import (
+	"math/rand/v2"
+
+	"shoggoth/internal/nn"
+	"shoggoth/internal/tensor"
+	"shoggoth/internal/video"
+)
+
+// PretrainConfig controls offline pretraining of the student before
+// deployment.
+type PretrainConfig struct {
+	Epochs        int
+	MiniBatch     int
+	LR            float64
+	Momentum      float64
+	BoxLossWeight float64
+}
+
+// DefaultPretrainConfig returns a configuration that converges on the stock
+// profiles' pretraining sets.
+func DefaultPretrainConfig() PretrainConfig {
+	return PretrainConfig{Epochs: 30, MiniBatch: 64, LR: 0.05, Momentum: 0.9, BoxLossWeight: 1.0}
+}
+
+// Pretrain trains the full student on an offline labeled dataset (the
+// paper's "one offline training" that cannot cover every future domain).
+// It returns the final epoch's mean classification loss.
+func Pretrain(s *Student, set []video.PretrainSample, cfg PretrainConfig, rng *rand.Rand) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	x := tensor.New(len(set), len(set[0].Features))
+	labels := make([]int, len(set))
+	boxes := tensor.New(len(set), 4)
+	mask := make([]bool, len(set))
+	for i, smp := range set {
+		copy(x.Row(i), smp.Features)
+		labels[i] = smp.Class
+		if smp.HasBox {
+			copy(boxes.Row(i), smp.Offset[:])
+			mask[i] = true
+		}
+	}
+
+	s.Backbone.SetLRScaleRange(0, s.Backbone.Len(), 1)
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum)
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := rng.Perm(len(set))
+		var sum float64
+		steps := 0
+		for lo := 0; lo < len(order); lo += cfg.MiniBatch {
+			hi := minInt(lo+cfg.MiniBatch, len(order))
+			idx := order[lo:hi]
+			bx := tensor.SelectRows(x, idx)
+			bl := make([]int, len(idx))
+			bb := tensor.New(len(idx), 4)
+			bm := make([]bool, len(idx))
+			for k, i := range idx {
+				bl[k] = labels[i]
+				copy(bb.Row(k), boxes.Row(i))
+				bm[k] = mask[i]
+			}
+			z := s.Backbone.Forward(bx, true)
+			logits := s.ClassHead.Forward(z, true)
+			offs := s.BoxHead.Forward(z, true)
+			lossC, gLogits := nn.SoftmaxCrossEntropy(logits, bl)
+			_, gOffs := nn.SmoothL1(offs, bb, bm)
+			sum += lossC
+			steps++
+			gz := s.ClassHead.Backward(gLogits)
+			gOffs.ScaleInPlace(cfg.BoxLossWeight)
+			tensor.AddInPlace(gz, s.BoxHead.Backward(gOffs))
+			s.Backbone.Backward(gz)
+			opt.Step(s.Params())
+		}
+		if steps > 0 {
+			lastLoss = sum / float64(steps)
+		}
+	}
+	return lastLoss
+}
+
+// NewPretrainedStudent builds and pretrains a student for the profile; this
+// is the model every strategy deploys at t=0.
+func NewPretrainedStudent(p *video.Profile, rng *rand.Rand) *Student {
+	s := NewStudent(p.FeatureDim(), p.NumClasses(), rng)
+	set := video.GeneratePretrainSet(p, p.PretrainSamples, rng)
+	Pretrain(s, set, DefaultPretrainConfig(), rng)
+	return s
+}

@@ -1,0 +1,193 @@
+package detect
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+
+	"shoggoth/internal/geom"
+	"shoggoth/internal/video"
+)
+
+// TeacherLabel is the cloud's online label for one proposal of a frame
+// (Eq. 1 of the paper generalised to per-class labels: positives carry the
+// detector's class and box, negatives carry the background label).
+type TeacherLabel struct {
+	ProposalIdx int
+	Class       int // background class for negatives
+	Box         geom.Box
+	Confidence  float64
+}
+
+// errBucketSec is the time-bucket width for temporally-correlated teacher
+// errors: a real golden model's mistakes persist while the scene looks the
+// same, rather than flickering frame to frame. Correlated errors are also
+// what makes high sampling rates overfit (Table III): a batch gathered in a
+// short window contains few independent labels, so SGD fits the teacher's
+// mistakes.
+const errBucketSec = 8.0
+
+// Teacher is the golden model running in the cloud. It is an oracle with a
+// per-profile accuracy ceiling: it sees the generative ground truth and
+// corrupts it with the profile's class-flip, miss, false-positive and
+// box-jitter rates. Errors are deterministic per (track, time bucket), so
+// they are temporally consistent — a hard object stays mislabeled for a few
+// seconds instead of flickering, which keeps the φ change signal (§III-C)
+// about the *scene* rather than about labeler noise.
+type Teacher struct {
+	profile *video.Profile
+	rng     *rand.Rand
+	seed    uint64
+}
+
+// NewTeacher creates the teacher for a profile.
+func NewTeacher(p *video.Profile, rng *rand.Rand) *Teacher {
+	return &Teacher{profile: p, rng: rng, seed: rng.Uint64()}
+}
+
+// Label produces online labels for every proposal of the frame.
+func (t *Teacher) Label(f *video.Frame) []TeacherLabel {
+	p := t.profile
+	bg := p.BackgroundClass()
+	bucket := int64(f.Time / errBucketSec)
+	out := make([]TeacherLabel, 0, len(f.Proposals))
+	for i, pr := range f.Proposals {
+		if pr.GT != nil {
+			if t.hash01(pr.TrackID, bucket, 1) < p.TeacherMissRate {
+				out = append(out, TeacherLabel{ProposalIdx: i, Class: bg})
+				continue
+			}
+			cls := pr.GT.Class
+			if p.NumClasses() > 1 && t.hash01(pr.TrackID, bucket, 2) > p.TeacherClassAcc {
+				cls = t.flipClass(cls, pr.TrackID, bucket)
+			}
+			out = append(out, TeacherLabel{
+				ProposalIdx: i,
+				Class:       cls,
+				Box:         t.jitterBox(pr.GT.Box, pr.TrackID, bucket),
+				Confidence:  0.75 + 0.24*t.rng.Float64(),
+			})
+			continue
+		}
+		if t.hash01(pr.TrackID, bucket, 4) < p.TeacherFPRate {
+			cls := int(t.hash01(pr.TrackID, bucket, 5) * float64(p.NumClasses()))
+			if cls >= p.NumClasses() {
+				cls = p.NumClasses() - 1
+			}
+			out = append(out, TeacherLabel{
+				ProposalIdx: i,
+				Class:       cls,
+				Box:         t.jitterBox(pr.Anchor, pr.TrackID, bucket),
+				Confidence:  0.5 + 0.3*t.rng.Float64(),
+			})
+			continue
+		}
+		out = append(out, TeacherLabel{ProposalIdx: i, Class: bg})
+	}
+	return out
+}
+
+// Detections converts teacher labels into detections (Cloud-Only inference
+// results: what the cloud returns when it does all the work).
+func (t *Teacher) Detections(labels []TeacherLabel) []Detection {
+	bg := t.profile.BackgroundClass()
+	var out []Detection
+	for _, l := range labels {
+		if l.Class == bg {
+			continue
+		}
+		out = append(out, Detection{
+			ProposalIdx: l.ProposalIdx,
+			Class:       l.Class,
+			Confidence:  l.Confidence,
+			Box:         l.Box,
+		})
+	}
+	return out
+}
+
+// flipClass deterministically picks a wrong class for a (track, bucket).
+func (t *Teacher) flipClass(cls, trackID int, bucket int64) int {
+	n := t.profile.NumClasses()
+	o := int(t.hash01(trackID, bucket, 3) * float64(n-1))
+	if o >= n-1 {
+		o = n - 2
+	}
+	if o >= cls {
+		o++
+	}
+	return o
+}
+
+// jitterBox displaces a box by a per-(track,bucket) systematic jitter plus a
+// small fresh per-frame component.
+func (t *Teacher) jitterBox(b geom.Box, trackID int, bucket int64) geom.Box {
+	std := t.profile.TeacherBoxStd
+	gx := t.hashNorm(trackID, bucket, 6)
+	gy := t.hashNorm(trackID, bucket, 7)
+	gw := t.hashNorm(trackID, bucket, 8)
+	gh := t.hashNorm(trackID, bucket, 9)
+	cx, cy := b.Center()
+	w, h := b.Size()
+	fresh := std * 0.25
+	return geom.FromCenter(
+		cx+(gx*std+t.rng.NormFloat64()*fresh)*w,
+		cy+(gy*std+t.rng.NormFloat64()*fresh)*h,
+		w*math.Exp(gw*std+t.rng.NormFloat64()*fresh),
+		h*math.Exp(gh*std+t.rng.NormFloat64()*fresh),
+	)
+}
+
+// hash01 returns a deterministic uniform value in [0, 1) for the tuple
+// (teacher seed, track, bucket, salt).
+func (t *Teacher) hash01(trackID int, bucket int64, salt uint64) float64 {
+	h := fnv.New64a()
+	var buf [32]byte
+	binary.LittleEndian.PutUint64(buf[0:], t.seed)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(trackID))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(bucket))
+	binary.LittleEndian.PutUint64(buf[24:], salt)
+	h.Write(buf[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// hashNorm returns a deterministic standard-normal value via Box–Muller over
+// two hash draws.
+func (t *Teacher) hashNorm(trackID int, bucket int64, salt uint64) float64 {
+	u1 := t.hash01(trackID, bucket, salt*2+100)
+	u2 := t.hash01(trackID, bucket, salt*2+101)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// LabeledRegion is a distillation training example: the proposal's feature
+// vector paired with the teacher's supervision. This is what flows from the
+// cloud's labeling stage to the edge's training stage in Shoggoth's
+// decoupled knowledge distillation.
+type LabeledRegion struct {
+	Features []float64
+	Class    int // background class for negatives (Eq. 1 y=0)
+	Offset   geom.Offset
+	HasBox   bool
+	Time     float64 // capture time (stream seconds)
+}
+
+// BuildTrainingBatch pairs a frame's proposals with teacher labels to form
+// distillation examples. Positive labels get a box-regression target (the
+// offset from the proposal anchor to the teacher's box).
+func BuildTrainingBatch(f *video.Frame, labels []TeacherLabel, bg int) []LabeledRegion {
+	out := make([]LabeledRegion, 0, len(labels))
+	for _, l := range labels {
+		pr := f.Proposals[l.ProposalIdx]
+		r := LabeledRegion{Features: pr.Features, Class: l.Class, Time: f.Time}
+		if l.Class != bg && l.Box.Valid() {
+			r.Offset = geom.OffsetBetween(pr.Anchor, l.Box)
+			r.HasBox = true
+		}
+		out = append(out, r)
+	}
+	return out
+}

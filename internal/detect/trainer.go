@@ -1,0 +1,271 @@
+package detect
+
+import (
+	"math/rand/v2"
+
+	"shoggoth/internal/nn"
+	"shoggoth/internal/replay"
+	"shoggoth/internal/tensor"
+)
+
+// TrainerConfig selects the adaptive-training variant (paper §III-B and the
+// Table II ablation).
+type TrainerConfig struct {
+	// Placement is the replay-layer position. PlacementPool is the paper's
+	// default ("replay occurs on the penultimate layer (pool)").
+	Placement ReplayPlacement
+	// NoReplay disables the replay memory entirely: training uses only the
+	// current batch and fine-tunes the full network (Table II row 5).
+	NoReplay bool
+	// CompletelyFrozen freezes front-layer weights AND normalisation
+	// moments from the start (Table II row 3). The default instead trains
+	// the front during the first batch, then freezes weights while letting
+	// BRN moments adapt freely.
+	CompletelyFrozen bool
+
+	Epochs        int     // paper: 8
+	MiniBatch     int     // paper: 64
+	LR            float64 // SGD learning rate
+	Momentum      float64
+	BoxLossWeight float64
+	// ReplayCapacity is the replay memory size in samples (paper: 1500
+	// images per 300-image batch).
+	ReplayCapacity int
+	// ReplayPolicy selects the replacement rule: reservoir (Algorithm 1,
+	// the default) or FIFO (recency-biased ablation baseline).
+	ReplayPolicy replay.Policy
+}
+
+// DefaultTrainerConfig returns the paper's configuration.
+func DefaultTrainerConfig() TrainerConfig {
+	return TrainerConfig{
+		Placement:      PlacementPool,
+		Epochs:         8,
+		MiniBatch:      64,
+		LR:             0.05,
+		Momentum:       0.9,
+		BoxLossWeight:  1.0,
+		ReplayCapacity: 1500,
+	}
+}
+
+// SessionStats summarises one adaptive-training session.
+type SessionStats struct {
+	Session       int
+	Steps         int
+	AvgClassLoss  float64
+	AvgBoxLoss    float64
+	NewSamples    int
+	ReplaySamples int
+	FrontTrained  bool
+}
+
+// Trainer performs adaptive-training sessions on a student (paper Fig. 3):
+// mini-batch SGD where each mini-batch concatenates K·N/(N+M) fresh samples
+// (which cross the front layers) with K·M/(N+M) replay activations injected
+// at the replay layer; the backward pass stops at the replay layer once the
+// front is frozen. The same Trainer is reused by the AMS baseline, which
+// runs it in the cloud on a model copy.
+type Trainer struct {
+	Config  TrainerConfig
+	Student *Student
+	Memory  *replay.Memory
+
+	opt      *nn.SGD
+	rng      *rand.Rand
+	sessions int
+}
+
+// NewTrainer creates a trainer bound to a student.
+func NewTrainer(s *Student, cfg TrainerConfig, rng *rand.Rand) *Trainer {
+	if cfg.NoReplay {
+		cfg.ReplayCapacity = 0
+		cfg.Placement = PlacementInput // full network trains on raw inputs
+	}
+	return &Trainer{
+		Config:  cfg,
+		Student: s,
+		Memory:  replay.NewMemoryWithPolicy(cfg.ReplayCapacity, cfg.ReplayPolicy, rng),
+		opt:     nn.NewSGD(cfg.LR, cfg.Momentum),
+		rng:     rng,
+	}
+}
+
+// Sessions returns the number of completed training sessions.
+func (t *Trainer) Sessions() int { return t.sessions }
+
+// split returns the backbone index of the replay layer.
+func (t *Trainer) split() int {
+	idx := t.Config.Placement.Index()
+	if idx > t.Student.Backbone.Len() {
+		idx = t.Student.Backbone.Len()
+	}
+	return idx
+}
+
+// frontTrainable reports whether this session trains the front layers.
+func (t *Trainer) frontTrainable() bool {
+	if t.split() == 0 {
+		return false // no front: everything is tail
+	}
+	if t.Config.CompletelyFrozen {
+		return false
+	}
+	return t.sessions == 0 // paper: LR→0 after the first batch
+}
+
+// RunSession fine-tunes the student on the labeled batch plus replay memory
+// and then updates the memory per Algorithm 1.
+func (t *Trainer) RunSession(batch []LabeledRegion) SessionStats {
+	cfg := t.Config
+	s := t.Student
+	split := t.split()
+	stats := SessionStats{Session: t.sessions, NewSamples: len(batch), ReplaySamples: t.Memory.Len()}
+	if len(batch) == 0 {
+		t.sessions++
+		return stats
+	}
+
+	frontTrain := t.frontTrainable()
+	stats.FrontTrained = frontTrain
+	// Freezing schedule: LR scale 0 stops weight updates; BRN moments keep
+	// adapting unless CompletelyFrozen (train=false front passes).
+	if split > 0 {
+		if frontTrain {
+			s.Backbone.SetLRScaleRange(0, split, 1)
+		} else {
+			s.Backbone.SetLRScaleRange(0, split, 0)
+		}
+		s.Backbone.SetStatsFrozenRange(0, split, cfg.CompletelyFrozen)
+	}
+	s.Backbone.SetLRScaleRange(split, s.Backbone.Len(), 1)
+
+	// Raw feature matrix of the new batch (front input).
+	newX := tensor.New(len(batch), len(batch[0].Features))
+	for i, r := range batch {
+		copy(newX.Row(i), r.Features)
+	}
+
+	kNew, kRep := replay.MixCounts(cfg.MiniBatch, len(batch), t.Memory.Len())
+	if t.Memory.Len() == 0 {
+		kNew, kRep = minInt(cfg.MiniBatch, len(batch)), 0
+	}
+
+	var sumCls, sumBox float64
+	// frontPassTrain: true unless the front is completely frozen — BRN
+	// moments adapt to the current scene statistics on every pass.
+	frontPassTrain := !cfg.CompletelyFrozen
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := t.rng.Perm(len(batch))
+		for lo := 0; lo < len(order); lo += kNew {
+			hi := minInt(lo+kNew, len(order))
+			newIdx := order[lo:hi]
+			replaySamples := t.Memory.Sample(kRep)
+
+			// Forward: fresh samples cross the front; replay activations
+			// are injected at the replay layer (paper Fig. 3 concat).
+			sel := tensor.SelectRows(newX, newIdx)
+			var frontOut *tensor.Matrix
+			if split > 0 {
+				frontOut = s.Backbone.ForwardRange(0, split, sel, frontPassTrain)
+			} else {
+				frontOut = sel
+			}
+			rows := frontOut.Rows + len(replaySamples)
+			concat := tensor.New(rows, frontOut.Cols)
+			copy(concat.Data, frontOut.Data)
+			labels := make([]int, rows)
+			boxTargets := tensor.New(rows, 4)
+			mask := make([]bool, rows)
+			for i, bi := range newIdx {
+				r := batch[bi]
+				labels[i] = r.Class
+				if r.HasBox {
+					copy(boxTargets.Row(i), r.Offset[:])
+					mask[i] = true
+				}
+			}
+			for j, rs := range replaySamples {
+				row := frontOut.Rows + j
+				copy(concat.Row(row), rs.Activation)
+				labels[row] = rs.Class
+				if rs.HasBox {
+					copy(boxTargets.Row(row), rs.BoxTarget[:])
+					mask[row] = true
+				}
+			}
+
+			z := s.Backbone.ForwardRange(split, s.Backbone.Len(), concat, true)
+			logits := s.ClassHead.Forward(z, true)
+			offsets := s.BoxHead.Forward(z, true)
+
+			lossC, gLogits := nn.SoftmaxCrossEntropy(logits, labels)
+			lossB, gOffsets := nn.SmoothL1(offsets, boxTargets, mask)
+			sumCls += lossC
+			sumBox += lossB
+			stats.Steps++
+
+			gz := s.ClassHead.Backward(gLogits)
+			if cfg.BoxLossWeight != 0 {
+				gOffsets.ScaleInPlace(cfg.BoxLossWeight)
+				tensor.AddInPlace(gz, s.BoxHead.Backward(gOffsets))
+			}
+			gIn := s.Backbone.BackwardRange(split, s.Backbone.Len(), gz)
+			if frontTrain && split > 0 {
+				// Only the fresh rows propagate into the front layers;
+				// replay activations carry no path back to the input.
+				gNew := tensor.New(frontOut.Rows, gIn.Cols)
+				copy(gNew.Data, gIn.Data[:frontOut.Rows*gIn.Cols])
+				s.Backbone.BackwardRange(0, split, gNew)
+			}
+			t.opt.Step(s.Params())
+		}
+	}
+
+	if stats.Steps > 0 {
+		stats.AvgClassLoss = sumCls / float64(stats.Steps)
+		stats.AvgBoxLoss = sumBox / float64(stats.Steps)
+	}
+
+	t.updateMemory(batch, newX, split)
+	t.sessions++
+	return stats
+}
+
+// updateMemory stores the batch's replay-layer activations (Algorithm 1).
+// Activations are captured in eval mode with the post-session front, so they
+// stay consistent with the frozen front in later sessions; any residual
+// drift from BRN-moment adaptation is the paper's "aging effect".
+func (t *Trainer) updateMemory(batch []LabeledRegion, newX *tensor.Matrix, split int) {
+	if t.Memory.Cap() == 0 {
+		t.Memory.Update(nil) // still counts the run for Algorithm 1 bookkeeping
+		return
+	}
+	var acts *tensor.Matrix
+	if split > 0 {
+		acts = t.Student.Backbone.ForwardRange(0, split, newX, false)
+	} else {
+		acts = newX
+	}
+	samples := make([]replay.Sample, len(batch))
+	for i, r := range batch {
+		samples[i] = replay.Sample{
+			Activation: append([]float64(nil), acts.Row(i)...),
+			Class:      r.Class,
+			HasBox:     r.HasBox,
+			CapturedAt: r.Time,
+		}
+		if r.HasBox {
+			samples[i].BoxTarget = r.Offset
+		}
+	}
+	t.Memory.Update(samples)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,44 @@
+package edge
+
+// Sampler selects which camera frames are uploaded for labeling at the
+// current sampling rate r (frames/second). The rate is adjusted remotely by
+// the cloud's sampling-rate controller (§III-C).
+type Sampler struct {
+	rate    float64
+	credit  float64
+	lastT   float64
+	started bool
+}
+
+// NewSampler creates a sampler at the initial rate.
+func NewSampler(rate float64) *Sampler { return &Sampler{rate: rate} }
+
+// Rate returns the current sampling rate in frames/second.
+func (s *Sampler) Rate() float64 { return s.rate }
+
+// SetRate applies a rate command from the cloud controller.
+func (s *Sampler) SetRate(r float64) {
+	if r < 0 {
+		r = 0
+	}
+	s.rate = r
+}
+
+// Sample reports whether the frame at time t should be uploaded. It
+// accumulates fractional credit so any rate below the camera FPS is honored
+// exactly on average.
+func (s *Sampler) Sample(t float64) bool {
+	if !s.started {
+		s.started = true
+		s.lastT = t
+		s.credit = 1 // sample the first frame: bootstrap labeling quickly
+	} else {
+		s.credit += (t - s.lastT) * s.rate
+		s.lastT = t
+	}
+	if s.credit >= 1 {
+		s.credit -= 1
+		return true
+	}
+	return false
+}

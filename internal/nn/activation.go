@@ -1,0 +1,63 @@
+package nn
+
+import "shoggoth/internal/tensor"
+
+// ReLU is the rectified-linear activation y = max(0, x).
+type ReLU struct {
+	name string
+	mask []bool // which inputs were positive at the last training forward
+}
+
+// NewReLU creates a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// OutDim implements Layer.
+func (r *ReLU) OutDim(in int) int { return in }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	if train {
+		if len(r.mask) != len(x.Data) {
+			r.mask = make([]bool, len(x.Data))
+		}
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+				r.mask[i] = true
+			} else {
+				r.mask[i] = false
+			}
+		}
+		return out
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if len(r.mask) != len(grad.Data) {
+		panic("nn: ReLU.Backward shape mismatch with last Forward")
+	}
+	out := tensor.New(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			out.Data[i] = g
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Clone implements Layer.
+func (r *ReLU) Clone() Layer { return &ReLU{name: r.name} }

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"shoggoth/internal/tensor"
+)
+
+// Dense is a fully-connected layer: y = x·W + b.
+type Dense struct {
+	name    string
+	W, B    *Param
+	lastX   *tensor.Matrix // cached input for backward
+	lrScale float64
+}
+
+// NewDense creates an in×out dense layer with He-style initialisation drawn
+// from rng (deterministic given the seed).
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	w := tensor.New(in, out)
+	std := math.Sqrt(2.0 / float64(in))
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * std
+	}
+	b := tensor.New(1, out)
+	d := &Dense{name: name, lrScale: 1}
+	d.W = &Param{Name: name + ".W", Value: w, Grad: tensor.New(in, out), LRScale: 1}
+	d.B = &Param{Name: name + ".b", Value: b, Grad: tensor.New(1, out), LRScale: 1}
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// OutDim implements Layer.
+func (d *Dense) OutDim(int) int { return d.W.Value.Cols }
+
+// InDim returns the expected input feature dimension.
+func (d *Dense) InDim() int { return d.W.Value.Rows }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if train {
+		d.lastX = x
+	}
+	return tensor.AddRowVector(tensor.MatMul(x, d.W.Value), d.B.Value)
+}
+
+// Backward implements Layer. dW = xᵀg, db = Σg, dx = g·Wᵀ.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.lastX == nil {
+		panic("nn: Dense.Backward before Forward(train=true)")
+	}
+	tensor.AddInPlace(d.W.Grad, tensor.TMatMul(d.lastX, grad))
+	tensor.AddInPlace(d.B.Grad, tensor.SumRows(grad))
+	return tensor.MatMulT(grad, d.W.Value)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// SetLRScale implements LRScaler.
+func (d *Dense) SetLRScale(s float64) {
+	d.lrScale = s
+	d.W.LRScale = s
+	d.B.LRScale = s
+}
+
+// MACs returns multiply-accumulate operations per input row.
+func (d *Dense) MACs() int64 { return int64(d.W.Value.Rows) * int64(d.W.Value.Cols) }
+
+// Clone implements Layer.
+func (d *Dense) Clone() Layer {
+	c := &Dense{name: d.name, lrScale: d.lrScale}
+	c.W = &Param{Name: d.W.Name, Value: d.W.Value.Clone(), Grad: tensor.New(d.W.Grad.Rows, d.W.Grad.Cols), LRScale: d.W.LRScale}
+	c.B = &Param{Name: d.B.Name, Value: d.B.Value.Clone(), Grad: tensor.New(d.B.Grad.Rows, d.B.Grad.Cols), LRScale: d.B.LRScale}
+	return c
+}

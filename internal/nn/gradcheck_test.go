@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"shoggoth/internal/tensor"
+)
+
+// numericalGrad computes dLoss/dTheta for every element of the given params
+// and the input via central finite differences, where loss() re-runs the
+// full forward+loss computation.
+func numericalGrad(theta []float64, loss func() float64) []float64 {
+	const h = 1e-5
+	out := make([]float64, len(theta))
+	for i := range theta {
+		orig := theta[i]
+		theta[i] = orig + h
+		lp := loss()
+		theta[i] = orig - h
+		lm := loss()
+		theta[i] = orig
+		out[i] = (lp - lm) / (2 * h)
+	}
+	return out
+}
+
+// buildTestNet returns a tiny network exercising every layer type.
+func buildTestNet(rng *rand.Rand, norm string) *Sequential {
+	layers := []Layer{NewDense("d1", 4, 6, rng), NewReLU("r1")}
+	switch norm {
+	case "bn":
+		layers = append(layers, NewBatchNorm("n1", 6))
+	case "brn":
+		// r and d are stop-gradients: the analytic backward deliberately
+		// ignores their dependence on the batch statistics, so a naive
+		// finite-difference check would disagree. Saturate both clips (tiny
+		// running variance, far-off running mean) so r=RMax and d=DMax are
+		// exact constants under perturbation while still exercising the
+		// r≠1, d≠0 backward paths.
+		brn := NewBatchRenorm("n1", 6)
+		brn.RMax, brn.DMax = 1.5, 2
+		for j := range brn.RunMean.Data {
+			brn.RunMean.Data[j] = -50
+			brn.RunVar.Data[j] = 1e-4
+		}
+		layers = append(layers, brn)
+	}
+	layers = append(layers, NewDense("d2", 6, 3, rng))
+	return NewSequential(layers...)
+}
+
+func gradCheckNet(t *testing.T, norm string) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(42, uint64(len(norm))))
+	net := buildTestNet(rng, norm)
+	// Freeze running-stat updates so repeated loss() evaluations are pure.
+	net.SetStatsFrozenRange(0, net.Len(), true)
+
+	x := tensor.New(5, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := []int{0, 1, 2, 1, 0}
+
+	loss := func() float64 {
+		out := net.Forward(x, true)
+		l, _ := SoftmaxCrossEntropy(out, labels)
+		return l
+	}
+
+	// Analytic gradients.
+	net.ZeroGrads()
+	out := net.Forward(x, true)
+	_, g := SoftmaxCrossEntropy(out, labels)
+	gx := net.Backward(g)
+
+	for _, p := range net.Params() {
+		num := numericalGrad(p.Value.Data, loss)
+		for i := range num {
+			if diff := math.Abs(num[i] - p.Grad.Data[i]); diff > 1e-6*(1+math.Abs(num[i])) {
+				t.Errorf("%s[%d]: analytic %.8g vs numeric %.8g (norm=%s)",
+					p.Name, i, p.Grad.Data[i], num[i], norm)
+			}
+		}
+	}
+	numX := numericalGrad(x.Data, loss)
+	for i := range numX {
+		if diff := math.Abs(numX[i] - gx.Data[i]); diff > 1e-6*(1+math.Abs(numX[i])) {
+			t.Errorf("dL/dx[%d]: analytic %.8g vs numeric %.8g (norm=%s)", i, gx.Data[i], numX[i], norm)
+		}
+	}
+}
+
+func TestGradCheckPlain(t *testing.T)       { gradCheckNet(t, "none") }
+func TestGradCheckBatchNorm(t *testing.T)   { gradCheckNet(t, "bn") }
+func TestGradCheckBatchRenorm(t *testing.T) { gradCheckNet(t, "brn") }
+
+func TestGradCheckSmoothL1(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	net := NewSequential(NewDense("d1", 3, 5, rng), NewReLU("r"), NewDense("d2", 5, 2, rng))
+	x := tensor.New(4, 3)
+	target := tensor.New(4, 2)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range target.Data {
+		target.Data[i] = rng.NormFloat64() * 2 // some diffs beyond the Huber knee
+	}
+	mask := []bool{true, false, true, true}
+
+	loss := func() float64 {
+		out := net.Forward(x, true)
+		l, _ := SmoothL1(out, target, mask)
+		return l
+	}
+	net.ZeroGrads()
+	out := net.Forward(x, true)
+	_, g := SmoothL1(out, target, mask)
+	net.Backward(g)
+
+	for _, p := range net.Params() {
+		num := numericalGrad(p.Value.Data, loss)
+		for i := range num {
+			if math.Abs(num[i]-p.Grad.Data[i]) > 1e-6*(1+math.Abs(num[i])) {
+				t.Errorf("%s[%d]: analytic %.8g vs numeric %.8g", p.Name, i, p.Grad.Data[i], num[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Package nn is a small from-scratch neural-network framework: dense layers,
+// ReLU, BatchNorm and BatchRenorm, classification/regression losses and SGD
+// with momentum and per-parameter learning-rate scaling.
+//
+// It exists because the paper's edge device fine-tunes its detector on-device
+// and no Go on-device training framework exists; building one lets
+// catastrophic forgetting, replay benefits and freezing trade-offs emerge
+// from real optimisation dynamics instead of being scripted.
+//
+// The framework supports the paper's latent-replay training split: a network
+// can be executed partially (ForwardRange) and back-propagated partially
+// (BackwardRange), so activations cached at the replay layer can be injected
+// mid-network exactly as in Fig. 3 of the paper.
+package nn
+
+import "shoggoth/internal/tensor"
+
+// Param is one trainable parameter tensor with its gradient accumulator.
+// LRScale scales the optimizer step for this parameter; setting it to 0
+// freezes the parameter (the paper's front-layer freezing).
+type Param struct {
+	Name    string
+	Value   *tensor.Matrix
+	Grad    *tensor.Matrix
+	LRScale float64
+}
+
+// Layer is one differentiable stage of a network.
+//
+// Forward must cache whatever it needs for the next Backward call; Backward
+// consumes that cache, accumulates parameter gradients and returns the
+// gradient with respect to the layer input.
+type Layer interface {
+	// Name identifies the layer for serialisation and debugging.
+	Name() string
+	// Forward computes the layer output. train selects training-time
+	// behaviour (batch statistics, running-stat updates).
+	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
+	// Backward propagates grad (dL/dOutput) and returns dL/dInput.
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	// Params returns the trainable parameters (possibly none).
+	Params() []*Param
+	// Clone returns a deep copy sharing no state with the receiver.
+	Clone() Layer
+	// OutDim returns the feature dimension produced for a given input
+	// feature dimension (dense layers change it, others preserve it).
+	OutDim(inDim int) int
+}
+
+// LRScaler is implemented by layers whose parameters support collective
+// learning-rate scaling (used to freeze or slow down front layers).
+type LRScaler interface {
+	SetLRScale(s float64)
+}
+
+// zeroGrads resets the gradient accumulators of the given params.
+func zeroGrads(params []*Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}

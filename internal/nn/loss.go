@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"math"
+
+	"shoggoth/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy of logits (B×C)
+// against integer labels and the gradient dL/dlogits (already divided by the
+// batch size, ready for back-propagation).
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	if len(labels) != logits.Rows {
+		panic("nn: label count != batch size")
+	}
+	grad := tensor.New(logits.Rows, logits.Cols)
+	if logits.Rows == 0 {
+		return 0, grad
+	}
+	var loss float64
+	invB := 1 / float64(logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		p := tensor.SoftmaxRow(logits.Row(i))
+		y := labels[i]
+		if y < 0 || y >= logits.Cols {
+			panic("nn: label out of range")
+		}
+		loss += -math.Log(math.Max(p[y], 1e-12))
+		grow := grad.Row(i)
+		for j, pj := range p {
+			grow[j] = pj * invB
+		}
+		grow[y] -= invB
+	}
+	return loss * invB, grad
+}
+
+// SmoothL1 computes the masked mean smooth-L1 (Huber, δ=1) loss between
+// pred and target (both B×D) and the gradient dL/dpred. Rows where mask[i]
+// is false contribute nothing (background regions have no box target).
+func SmoothL1(pred, target *tensor.Matrix, mask []bool) (float64, *tensor.Matrix) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("nn: smoothL1 shape mismatch")
+	}
+	if len(mask) != pred.Rows {
+		panic("nn: smoothL1 mask length mismatch")
+	}
+	grad := tensor.New(pred.Rows, pred.Cols)
+	active := 0
+	for _, m := range mask {
+		if m {
+			active++
+		}
+	}
+	if active == 0 {
+		return 0, grad
+	}
+	inv := 1 / float64(active*pred.Cols)
+	var loss float64
+	for i := 0; i < pred.Rows; i++ {
+		if !mask[i] {
+			continue
+		}
+		prow, trow, grow := pred.Row(i), target.Row(i), grad.Row(i)
+		for j := range prow {
+			d := prow[j] - trow[j]
+			ad := math.Abs(d)
+			if ad < 1 {
+				loss += 0.5 * d * d
+				grow[j] = d * inv
+			} else {
+				loss += ad - 0.5
+				if d > 0 {
+					grow[j] = inv
+				} else {
+					grow[j] = -inv
+				}
+			}
+		}
+	}
+	return loss * inv, grad
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Matrix, labels []int) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < logits.Rows; i++ {
+		if logits.ArgMaxRow(i) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(logits.Rows)
+}

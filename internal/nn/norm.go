@@ -1,0 +1,266 @@
+package nn
+
+import (
+	"math"
+
+	"shoggoth/internal/tensor"
+)
+
+// normCache holds the per-batch values needed for the backward pass of the
+// normalisation layers.
+type normCache struct {
+	x        *tensor.Matrix // input
+	xhat     *tensor.Matrix // normalised (pre-affine, pre-d) values r·(x−μ)/σ
+	mean     *tensor.Matrix // batch mean (1×C)
+	invStd   []float64      // 1/sqrt(var+eps) per feature
+	renormR  []float64      // BRN r correction used (1 for plain BN)
+	renormD  []float64      // BRN d correction used (nil for plain BN)
+	batchLen int
+}
+
+// BatchNorm is standard batch normalisation with running statistics
+// (training uses batch statistics; evaluation uses running statistics).
+type BatchNorm struct {
+	name     string
+	Gamma    *Param
+	Beta     *Param
+	RunMean  *tensor.Matrix
+	RunVar   *tensor.Matrix
+	Momentum float64
+	Eps      float64
+
+	// FreezeStats disables running-statistic updates (the paper's
+	// "completely frozen" front-layer ablation freezes BN moments too).
+	FreezeStats bool
+
+	cache normCache
+}
+
+// NewBatchNorm creates a BatchNorm layer over dim features.
+func NewBatchNorm(name string, dim int) *BatchNorm {
+	bn := &BatchNorm{
+		name:     name,
+		RunMean:  tensor.New(1, dim),
+		RunVar:   tensor.New(1, dim),
+		Momentum: 0.02, // slow enough that replay-activation aging stays mild
+		Eps:      1e-5,
+	}
+	bn.RunVar.Fill(1)
+	g := tensor.New(1, dim)
+	g.Fill(1)
+	bn.Gamma = &Param{Name: name + ".gamma", Value: g, Grad: tensor.New(1, dim), LRScale: 1}
+	bn.Beta = &Param{Name: name + ".beta", Value: tensor.New(1, dim), Grad: tensor.New(1, dim), LRScale: 1}
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm) Name() string { return bn.name }
+
+// OutDim implements Layer.
+func (bn *BatchNorm) OutDim(in int) int { return in }
+
+// Params implements Layer.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// SetLRScale implements LRScaler.
+func (bn *BatchNorm) SetLRScale(s float64) {
+	bn.Gamma.LRScale = s
+	bn.Beta.LRScale = s
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train || x.Rows < 2 {
+		return bn.evalForward(x)
+	}
+	mean := tensor.MeanRows(x)
+	variance := tensor.VarRows(x, mean)
+	if !bn.FreezeStats {
+		bn.updateRunning(mean, variance)
+	}
+	return bn.normalize(x, mean, variance, nil)
+}
+
+// BatchRenorm is Batch Renormalization (Ioffe, NeurIPS 2017): training-time
+// normalisation uses batch statistics corrected towards the running
+// statistics via the clipped factors r and d, which reduces the train/eval
+// mismatch for small mini-batches. r and d are treated as constants in the
+// backward pass (stop-gradient), per the original paper.
+type BatchRenorm struct {
+	BatchNorm
+	RMax float64 // clip for r = σ_batch/σ_run
+	DMax float64 // clip for d = (μ_batch-μ_run)/σ_run
+}
+
+// NewBatchRenorm creates a BatchRenorm layer over dim features.
+func NewBatchRenorm(name string, dim int) *BatchRenorm {
+	brn := &BatchRenorm{BatchNorm: *NewBatchNorm(name, dim)}
+	brn.RMax = 3
+	brn.DMax = 5
+	return brn
+}
+
+// Forward implements Layer.
+func (brn *BatchRenorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train || x.Rows < 2 {
+		return brn.evalForward(x)
+	}
+	mean := tensor.MeanRows(x)
+	variance := tensor.VarRows(x, mean)
+
+	dim := x.Cols
+	r := make([]float64, dim)
+	d := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		sigmaB := math.Sqrt(variance.Data[j] + brn.Eps)
+		sigmaR := math.Sqrt(brn.RunVar.Data[j] + brn.Eps)
+		r[j] = tensor.Clamp(sigmaB/sigmaR, 1/brn.RMax, brn.RMax)
+		d[j] = tensor.Clamp((mean.Data[j]-brn.RunMean.Data[j])/sigmaR, -brn.DMax, brn.DMax)
+	}
+	if !brn.FreezeStats {
+		brn.updateRunning(mean, variance)
+	}
+	return brn.normalizeRenorm(x, mean, variance, r, d)
+}
+
+// Clone implements Layer.
+func (brn *BatchRenorm) Clone() Layer {
+	c := &BatchRenorm{BatchNorm: *brn.BatchNorm.cloneInto(), RMax: brn.RMax, DMax: brn.DMax}
+	return c
+}
+
+// Clone implements Layer.
+func (bn *BatchNorm) Clone() Layer { return bn.cloneInto() }
+
+func (bn *BatchNorm) cloneInto() *BatchNorm {
+	c := &BatchNorm{
+		name:        bn.name,
+		RunMean:     bn.RunMean.Clone(),
+		RunVar:      bn.RunVar.Clone(),
+		Momentum:    bn.Momentum,
+		Eps:         bn.Eps,
+		FreezeStats: bn.FreezeStats,
+	}
+	c.Gamma = &Param{Name: bn.Gamma.Name, Value: bn.Gamma.Value.Clone(), Grad: tensor.New(1, bn.Gamma.Value.Cols), LRScale: bn.Gamma.LRScale}
+	c.Beta = &Param{Name: bn.Beta.Name, Value: bn.Beta.Value.Clone(), Grad: tensor.New(1, bn.Beta.Value.Cols), LRScale: bn.Beta.LRScale}
+	return c
+}
+
+func (bn *BatchNorm) updateRunning(mean, variance *tensor.Matrix) {
+	m := bn.Momentum
+	for j := range bn.RunMean.Data {
+		bn.RunMean.Data[j] += m * (mean.Data[j] - bn.RunMean.Data[j])
+		bn.RunVar.Data[j] += m * (variance.Data[j] - bn.RunVar.Data[j])
+	}
+}
+
+func (bn *BatchNorm) evalForward(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	dim := x.Cols
+	inv := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		inv[j] = 1 / math.Sqrt(bn.RunVar.Data[j]+bn.Eps)
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		orow := out.Row(i)
+		for j, v := range row {
+			xhat := (v - bn.RunMean.Data[j]) * inv[j]
+			orow[j] = bn.Gamma.Value.Data[j]*xhat + bn.Beta.Value.Data[j]
+		}
+	}
+	return out
+}
+
+// normalize performs the training-mode BN transform and fills the backward
+// cache. If rd is non-nil it holds the BRN r corrections.
+func (bn *BatchNorm) normalize(x, mean, variance *tensor.Matrix, r []float64) *tensor.Matrix {
+	dim := x.Cols
+	invStd := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		invStd[j] = 1 / math.Sqrt(variance.Data[j]+bn.Eps)
+	}
+	if r == nil {
+		r = make([]float64, dim)
+		for j := range r {
+			r[j] = 1
+		}
+	}
+	xhat := tensor.New(x.Rows, x.Cols)
+	out := tensor.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		hrow := xhat.Row(i)
+		orow := out.Row(i)
+		for j, v := range row {
+			h := (v - mean.Data[j]) * invStd[j] * r[j]
+			hrow[j] = h
+			orow[j] = bn.Gamma.Value.Data[j]*h + bn.Beta.Value.Data[j]
+		}
+	}
+	bn.cache = normCache{x: x, xhat: xhat, mean: mean, invStd: invStd, renormR: r, batchLen: x.Rows}
+	return out
+}
+
+func (brn *BatchRenorm) normalizeRenorm(x, mean, variance *tensor.Matrix, r, d []float64) *tensor.Matrix {
+	out := brn.normalize(x, mean, variance, r)
+	// Add the γ·d shift on top. d is a stop-gradient constant: it shifts the
+	// forward value and contributes Σg·d to dγ, but carries no gradient to x.
+	brn.cache.renormD = d
+	for i := 0; i < out.Rows; i++ {
+		orow := out.Row(i)
+		for j := range orow {
+			orow[j] += brn.Gamma.Value.Data[j] * d[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer for both BN (r=1, d=0) and BRN (r, d cached).
+//
+// With z = (x−μ)/σ, x̂ = r·z + d and y = γx̂ + β (r, d stop-gradients):
+//
+//	dγ = Σ g·(r·z + d),  dβ = Σ g
+//	dx = (γ·r/σ)·[ g − mean(g) − z·mean(g·z) ]
+func (bn *BatchNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	c := &bn.cache
+	if c.x == nil {
+		panic("nn: BatchNorm.Backward before Forward(train=true)")
+	}
+	n := float64(c.batchLen)
+	dim := grad.Cols
+	sumG := make([]float64, dim)
+	sumGX := make([]float64, dim)
+	for i := 0; i < grad.Rows; i++ {
+		grow := grad.Row(i)
+		hrow := c.xhat.Row(i)
+		for j, g := range grow {
+			sumG[j] += g
+			sumGX[j] += g * hrow[j]
+		}
+	}
+	for j := 0; j < dim; j++ {
+		dgamma := sumGX[j]
+		if c.renormD != nil {
+			dgamma += sumG[j] * c.renormD[j] // x̂_full = x̂ + d, so dγ gains Σg·d
+		}
+		bn.Gamma.Grad.Data[j] += dgamma
+		bn.Beta.Grad.Data[j] += sumG[j]
+	}
+	out := tensor.New(grad.Rows, grad.Cols)
+	for i := 0; i < grad.Rows; i++ {
+		grow := grad.Row(i)
+		hrow := c.xhat.Row(i)
+		orow := out.Row(i)
+		for j, g := range grow {
+			r := c.renormR[j]
+			gamma := bn.Gamma.Value.Data[j]
+			// z = (x-μ)/σ = x̂/r; standard BN input gradient in terms of z,
+			// scaled by r because x̂ = r·z.
+			z := hrow[j] / r
+			dz := gamma * r * (g - sumG[j]/n - z*(sumGX[j]/r)/n)
+			orow[j] = dz * c.invStd[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"shoggoth/internal/tensor"
+)
+
+// TestBRNTrainEvalGapSmallerThanBN reproduces the motivation for Batch
+// Renormalization: with small mini-batches whose statistics differ from the
+// population, BRN's r/d correction keeps training-mode outputs closer to the
+// eval-mode (running-statistics) outputs than plain BN does.
+func TestBRNTrainEvalGapSmallerThanBN(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	const dim = 4
+
+	bn := NewBatchNorm("bn", dim)
+	brn := NewBatchRenorm("brn", dim)
+	// Identical, converged running statistics for both.
+	for j := 0; j < dim; j++ {
+		bn.RunMean.Data[j] = 1.5
+		bn.RunVar.Data[j] = 4
+		brn.RunMean.Data[j] = 1.5
+		brn.RunVar.Data[j] = 4
+	}
+
+	var bnGap, brnGap float64
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		// Tiny batch (4 rows) drawn from the same population: its batch
+		// statistics are noisy.
+		x := tensor.New(4, dim)
+		for i := range x.Data {
+			x.Data[i] = 1.5 + 2*rng.NormFloat64()
+		}
+		bn.FreezeStats, brn.FreezeStats = true, true
+		bnTrain := bn.Forward(x, true)
+		bnEval := bn.Forward(x, false)
+		brnTrain := brn.Forward(x, true)
+		brnEval := brn.Forward(x, false)
+		for i := range bnTrain.Data {
+			bnGap += math.Abs(bnTrain.Data[i] - bnEval.Data[i])
+			brnGap += math.Abs(brnTrain.Data[i] - brnEval.Data[i])
+		}
+	}
+	if brnGap >= bnGap {
+		t.Fatalf("BRN train/eval gap (%v) should be smaller than BN's (%v) for tiny batches", brnGap, bnGap)
+	}
+}
+
+func TestSequentialBadRangePanics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	net := NewSequential(NewDense("d", 2, 2, rng))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid layer range")
+		}
+	}()
+	net.ForwardRange(0, 5, tensor.New(1, 2), false)
+}
+
+func TestDenseBackwardBeforeForwardPanics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	d := NewDense("d", 2, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Backward before Forward")
+		}
+	}()
+	d.Backward(tensor.New(1, 2))
+}
+
+func TestSGDMomentumAccelerates(t *testing.T) {
+	// With a constant gradient, momentum should move the weight further
+	// after a few steps than plain SGD at the same learning rate.
+	mkParam := func() *Param {
+		return &Param{Value: tensor.New(1, 1), Grad: tensor.New(1, 1), LRScale: 1}
+	}
+	plain, mom := mkParam(), mkParam()
+	optPlain := NewSGD(0.1, 0)
+	optMom := NewSGD(0.1, 0.9)
+	for i := 0; i < 5; i++ {
+		plain.Grad.Data[0] = 1
+		mom.Grad.Data[0] = 1
+		optPlain.Step([]*Param{plain})
+		optMom.Step([]*Param{mom})
+	}
+	if !(mom.Value.Data[0] < plain.Value.Data[0]) {
+		t.Fatalf("momentum should have travelled further: %v vs %v", mom.Value.Data[0], plain.Value.Data[0])
+	}
+}
+
+func TestBatchNormSingleRowFallsBackToEval(t *testing.T) {
+	bn := NewBatchNorm("bn", 2)
+	bn.RunMean.Data[0], bn.RunMean.Data[1] = 1, 2
+	x := tensor.FromRows([][]float64{{1, 2}})
+	out := bn.Forward(x, true) // batch of 1: batch stats undefined
+	want := bn.Forward(x, false)
+	if !out.Equal(want, 1e-12) {
+		t.Fatal("single-row training forward should use running statistics")
+	}
+}

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// snapshot is the gob wire format for network weights: parameter name →
+// flattened values. Normalisation running statistics are stored under
+// synthetic names so a deserialised model is inference-ready.
+type snapshot struct {
+	Params map[string][]float64
+}
+
+// MarshalWeights serialises all parameters and normalisation statistics of
+// the network. The byte size of the result is also what the AMS baseline
+// pays in downlink bandwidth for every model update.
+func (s *Sequential) MarshalWeights() ([]byte, error) {
+	snap := snapshot{Params: make(map[string][]float64)}
+	for _, p := range s.Params() {
+		snap.Params[p.Name] = append([]float64(nil), p.Value.Data...)
+	}
+	for _, l := range s.LayersList {
+		if bn := asNorm(l); bn != nil {
+			snap.Params[bn.name+".runMean"] = append([]float64(nil), bn.RunMean.Data...)
+			snap.Params[bn.name+".runVar"] = append([]float64(nil), bn.RunVar.Data...)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("nn: marshal weights: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalWeights loads weights previously produced by MarshalWeights into
+// a network with identical architecture (matching parameter names/shapes).
+func (s *Sequential) UnmarshalWeights(data []byte) error {
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: unmarshal weights: %w", err)
+	}
+	for _, p := range s.Params() {
+		vals, ok := snap.Params[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot missing parameter %q", p.Name)
+		}
+		if len(vals) != len(p.Value.Data) {
+			return fmt.Errorf("nn: parameter %q size mismatch: %d vs %d", p.Name, len(vals), len(p.Value.Data))
+		}
+		copy(p.Value.Data, vals)
+	}
+	for _, l := range s.LayersList {
+		if bn := asNorm(l); bn != nil {
+			if vals, ok := snap.Params[bn.name+".runMean"]; ok && len(vals) == len(bn.RunMean.Data) {
+				copy(bn.RunMean.Data, vals)
+			}
+			if vals, ok := snap.Params[bn.name+".runVar"]; ok && len(vals) == len(bn.RunVar.Data) {
+				copy(bn.RunVar.Data, vals)
+			}
+		}
+	}
+	return nil
+}
+
+// CopyWeightsFrom copies all weights and statistics from src (identical
+// architecture) into s.
+func (s *Sequential) CopyWeightsFrom(src *Sequential) {
+	dst := s.Params()
+	from := src.Params()
+	if len(dst) != len(from) {
+		panic("nn: copy weights: parameter count mismatch")
+	}
+	for i, p := range dst {
+		copy(p.Value.Data, from[i].Value.Data)
+	}
+	for i, l := range s.LayersList {
+		if bn := asNorm(l); bn != nil {
+			if sb := asNorm(src.LayersList[i]); sb != nil {
+				copy(bn.RunMean.Data, sb.RunMean.Data)
+				copy(bn.RunVar.Data, sb.RunVar.Data)
+			}
+		}
+	}
+}
+
+func asNorm(l Layer) *BatchNorm {
+	switch v := l.(type) {
+	case *BatchNorm:
+		return v
+	case *BatchRenorm:
+		return &v.BatchNorm
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,196 @@
+// Package replay implements the paper's replay memory (Algorithm 1) for
+// latent replay: the memory stores activation volumes captured at the replay
+// layer together with their distillation labels, and is updated after every
+// adaptive-training run so that each historical training batch keeps an
+// (asymptotically) equal probability of being represented — the property the
+// paper credits for preventing catastrophic forgetting.
+package replay
+
+import (
+	"math/rand/v2"
+)
+
+// Sample is one remembered training example: the activation volume at the
+// replay layer plus the (teacher-provided) supervision targets.
+type Sample struct {
+	// Activation is the activation volume at the replay layer (for the
+	// Input variant it is the raw input feature vector).
+	Activation []float64
+	// Class is the distillation class label (background = number of
+	// foreground classes).
+	Class int
+	// BoxTarget is the box-regression target; valid only when HasBox.
+	BoxTarget [4]float64
+	// HasBox reports whether the sample carries a box-regression target
+	// (false for background/negative samples, Eq. 1's y=0 case).
+	HasBox bool
+	// CapturedAt is the virtual stream time the sample was captured,
+	// retained for aging diagnostics.
+	CapturedAt float64
+}
+
+// Policy selects the replacement rule when the memory is full.
+type Policy int
+
+// Replacement policies. PolicyReservoir is Algorithm 1 (equal expected
+// representation of every batch); PolicyFIFO is the recency-biased baseline
+// used by the replacement-policy ablation.
+const (
+	PolicyReservoir Policy = iota
+	PolicyFIFO
+)
+
+// Memory is the paper's replay memory M with capacity Msize.
+type Memory struct {
+	capacity int
+	policy   Policy
+	samples  []Sample
+	next     int // FIFO cursor
+	runs     int // i in Algorithm 1: the adaptive-training run counter
+	rng      *rand.Rand
+}
+
+// NewMemory creates an empty replay memory holding at most capacity samples,
+// using the paper's reservoir replacement (Algorithm 1).
+func NewMemory(capacity int, rng *rand.Rand) *Memory {
+	if capacity < 0 {
+		panic("replay: negative capacity")
+	}
+	return &Memory{capacity: capacity, rng: rng}
+}
+
+// NewMemoryWithPolicy creates a replay memory with an explicit replacement
+// policy (for the reservoir-vs-FIFO ablation).
+func NewMemoryWithPolicy(capacity int, policy Policy, rng *rand.Rand) *Memory {
+	m := NewMemory(capacity, rng)
+	m.policy = policy
+	return m
+}
+
+// Len returns the number of stored samples.
+func (m *Memory) Len() int { return len(m.samples) }
+
+// Cap returns the configured capacity Msize.
+func (m *Memory) Cap() int { return m.capacity }
+
+// Runs returns how many adaptive-training runs have updated the memory.
+func (m *Memory) Runs() int { return m.runs }
+
+// Samples exposes the stored samples (read-only by convention); the order is
+// internal and not meaningful.
+func (m *Memory) Samples() []Sample { return m.samples }
+
+// IsFull reports whether the memory is at capacity.
+func (m *Memory) IsFull() bool { return len(m.samples) >= m.capacity }
+
+// Update applies Algorithm 1 after an adaptive-training run with batch B:
+//
+//	i ← i+1
+//	if IsFull(M):
+//	    h ← Msize / i
+//	    Madd     ← random sample of h images from B
+//	    Mreplace ← random sample of h images from M
+//	    M ← (M − Mreplace) ∪ Madd
+//	else:
+//	    M ← M ∪ B   (all available images are memorized; overflow beyond
+//	                 capacity falls back to the replacement rule)
+//
+// The shrinking replacement quota h = Msize/i gives every historical batch
+// an equal expected share of the memory (reservoir property).
+func (m *Memory) Update(batch []Sample) {
+	m.runs++
+	if m.capacity == 0 || len(batch) == 0 {
+		return
+	}
+	if !m.IsFull() {
+		free := m.capacity - len(m.samples)
+		take := min(free, len(batch))
+		// Memorize a random subset when the batch exceeds the free space so
+		// no positional bias enters the memory.
+		perm := m.rng.Perm(len(batch))
+		for _, idx := range perm[:take] {
+			m.samples = append(m.samples, batch[idx])
+		}
+		return
+	}
+	if m.policy == PolicyFIFO {
+		// Recency-biased baseline: a ring buffer keeping only the most
+		// recent Msize samples — every batch sample overwrites the oldest
+		// slot, so old domains vanish from the memory entirely.
+		for _, s := range batch {
+			m.samples[m.next] = s
+			m.next = (m.next + 1) % m.capacity
+		}
+		return
+	}
+	h := m.capacity / m.runs
+	if h <= 0 {
+		return
+	}
+	h = min(h, len(batch))
+	addIdx := m.rng.Perm(len(batch))[:h]
+	replaceIdx := m.rng.Perm(len(m.samples))[:h]
+	for k := 0; k < h; k++ {
+		m.samples[replaceIdx[k]] = batch[addIdx[k]]
+	}
+}
+
+// Sample returns n samples drawn uniformly at random from the memory,
+// without replacement when n ≤ Len (with replacement otherwise).
+func (m *Memory) Sample(n int) []Sample {
+	if n <= 0 || len(m.samples) == 0 {
+		return nil
+	}
+	out := make([]Sample, 0, n)
+	if n <= len(m.samples) {
+		for _, idx := range m.rng.Perm(len(m.samples))[:n] {
+			out = append(out, m.samples[idx])
+		}
+		return out
+	}
+	for k := 0; k < n; k++ {
+		out = append(out, m.samples[m.rng.IntN(len(m.samples))])
+	}
+	return out
+}
+
+// Reset empties the memory and the run counter.
+func (m *Memory) Reset() {
+	m.samples = m.samples[:0]
+	m.runs = 0
+}
+
+// MixCounts implements the paper's training control: with N new images and M
+// replay images, a mini-batch of size K concatenates K·N/(N+M) originals with
+// K·M/(N+M) replays, so only the original fraction crosses the front layers.
+// Rounding preserves k = kNew + kReplay.
+func MixCounts(k, n, mem int) (kNew, kReplay int) {
+	if k <= 0 {
+		return 0, 0
+	}
+	total := n + mem
+	if total == 0 {
+		return 0, 0
+	}
+	if mem == 0 {
+		return k, 0
+	}
+	if n == 0 {
+		return 0, k
+	}
+	kNew = (k*n + total/2) / total // round to nearest
+	if kNew < 1 {
+		kNew = 1
+	}
+	if kNew > k {
+		kNew = k
+	}
+	return kNew, k - kNew
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

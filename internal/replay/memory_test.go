@@ -1,0 +1,196 @@
+package replay
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func mkBatch(id int, n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = Sample{Activation: []float64{float64(id)}, Class: id}
+	}
+	return out
+}
+
+func TestFillPhaseMemorizesEverything(t *testing.T) {
+	m := NewMemory(10, rand.New(rand.NewPCG(1, 1)))
+	m.Update(mkBatch(0, 4))
+	if m.Len() != 4 {
+		t.Fatalf("len=%d want 4", m.Len())
+	}
+	m.Update(mkBatch(1, 4))
+	if m.Len() != 8 {
+		t.Fatalf("len=%d want 8", m.Len())
+	}
+	m.Update(mkBatch(2, 4))
+	if m.Len() != 10 {
+		t.Fatalf("len=%d want 10 (clamped at capacity)", m.Len())
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	f := func(capSeed uint8, batches uint8) bool {
+		capacity := int(capSeed%50) + 1
+		m := NewMemory(capacity, rand.New(rand.NewPCG(7, uint64(capSeed))))
+		for b := 0; b < int(batches%20)+1; b++ {
+			m.Update(mkBatch(b, (b%7)+1))
+			if m.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplacementQuotaShrinks(t *testing.T) {
+	// With capacity 100 and batches of 100, after filling, run i should
+	// replace floor(100/i) samples.
+	m := NewMemory(100, rand.New(rand.NewPCG(2, 2)))
+	m.Update(mkBatch(0, 100)) // run 1: fills
+	if !m.IsFull() {
+		t.Fatal("memory should be full after first batch")
+	}
+	m.Update(mkBatch(1, 100)) // run 2: h = 100/2 = 50
+	count1 := countClass(m, 1)
+	if count1 != 50 {
+		t.Fatalf("run 2 should replace exactly 50, got %d", count1)
+	}
+	m.Update(mkBatch(2, 100)) // run 3: h = 100/3 = 33
+	count2 := countClass(m, 2)
+	if count2 != 33 {
+		t.Fatalf("run 3 should insert exactly 33, got %d", count2)
+	}
+}
+
+func TestEqualRepresentationProperty(t *testing.T) {
+	// Reservoir property: after many runs, each batch's share of the memory
+	// should be roughly equal (cap/runs each).
+	const capacity, nRuns, batchSize = 300, 30, 300
+	m := NewMemory(capacity, rand.New(rand.NewPCG(3, 3)))
+	for b := 0; b < nRuns; b++ {
+		m.Update(mkBatch(b, batchSize))
+	}
+	expected := float64(capacity) / float64(nRuns) // 10 per batch
+	for b := 0; b < nRuns; b++ {
+		got := float64(countClass(m, b))
+		// Loose statistical bound: within 4 standard-ish deviations.
+		if math.Abs(got-expected) > 4*math.Sqrt(expected)+3 {
+			t.Errorf("batch %d holds %v samples, expected ≈%v", b, got, expected)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	m := NewMemory(20, rand.New(rand.NewPCG(4, 4)))
+	batch := make([]Sample, 20)
+	for i := range batch {
+		batch[i] = Sample{Class: i}
+	}
+	m.Update(batch)
+	got := m.Sample(20)
+	seen := map[int]bool{}
+	for _, s := range got {
+		if seen[s.Class] {
+			t.Fatalf("duplicate class %d in without-replacement sample", s.Class)
+		}
+		seen[s.Class] = true
+	}
+	if len(got) != 20 {
+		t.Fatalf("want 20 samples, got %d", len(got))
+	}
+}
+
+func TestSampleWithReplacementWhenOversized(t *testing.T) {
+	m := NewMemory(3, rand.New(rand.NewPCG(5, 5)))
+	m.Update(mkBatch(0, 3))
+	if got := m.Sample(10); len(got) != 10 {
+		t.Fatalf("want 10 samples with replacement, got %d", len(got))
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	m := NewMemory(5, rand.New(rand.NewPCG(6, 6)))
+	if got := m.Sample(3); got != nil {
+		t.Fatalf("empty memory must return nil, got %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMemory(5, rand.New(rand.NewPCG(7, 7)))
+	m.Update(mkBatch(0, 5))
+	m.Reset()
+	if m.Len() != 0 || m.Runs() != 0 {
+		t.Fatal("reset must clear samples and run counter")
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	m := NewMemory(0, rand.New(rand.NewPCG(8, 8)))
+	m.Update(mkBatch(0, 10))
+	if m.Len() != 0 {
+		t.Fatal("zero-capacity memory must stay empty")
+	}
+}
+
+func TestMixCountsPaperExample(t *testing.T) {
+	// Paper configuration: batch 300 new, 1500 replay, mini-batch 64:
+	// 64·300/1800 ≈ 10.67 → 11 new, 53 replay.
+	kNew, kReplay := MixCounts(64, 300, 1500)
+	if kNew+kReplay != 64 {
+		t.Fatalf("counts must sum to K: %d+%d", kNew, kReplay)
+	}
+	if kNew != 11 {
+		t.Fatalf("expected 11 new per mini-batch, got %d", kNew)
+	}
+}
+
+func TestMixCountsEdgeCases(t *testing.T) {
+	if kn, kr := MixCounts(64, 300, 0); kn != 64 || kr != 0 {
+		t.Fatalf("no replay: got %d/%d", kn, kr)
+	}
+	if kn, kr := MixCounts(64, 0, 1500); kn != 0 || kr != 64 {
+		t.Fatalf("no new: got %d/%d", kn, kr)
+	}
+	if kn, kr := MixCounts(0, 300, 1500); kn != 0 || kr != 0 {
+		t.Fatalf("zero K: got %d/%d", kn, kr)
+	}
+	if kn, kr := MixCounts(8, 0, 0); kn != 0 || kr != 0 {
+		t.Fatalf("empty everything: got %d/%d", kn, kr)
+	}
+}
+
+func TestMixCountsSumProperty(t *testing.T) {
+	f := func(k, n, mem uint16) bool {
+		kk := int(k%256) + 1
+		kn, kr := MixCounts(kk, int(n%5000), int(mem%5000))
+		return kn+kr == kk && kn >= 0 && kr >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixCountsAtLeastOneNewWhenAvailable(t *testing.T) {
+	// Even with a huge replay memory, each mini-batch must carry at least
+	// one new sample so training consumes the current batch.
+	kn, _ := MixCounts(4, 1, 100000)
+	if kn < 1 {
+		t.Fatalf("expected at least 1 new sample, got %d", kn)
+	}
+}
+
+func countClass(m *Memory, class int) int {
+	n := 0
+	for _, s := range m.Samples() {
+		if s.Class == class {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"shoggoth/internal/video"
+)
+
+// Client is the edge side of the Shoggoth protocol.
+type Client struct {
+	BaseURL  string
+	DeviceID string
+	HTTP     *http.Client
+}
+
+// NewClient creates an edge client for the cloud at baseURL.
+func NewClient(baseURL, deviceID string) *Client {
+	return &Client{BaseURL: baseURL, DeviceID: deviceID, HTTP: http.DefaultClient}
+}
+
+// Label uploads a sample buffer with telemetry and returns the teacher
+// labels plus the new sampling rate.
+func (c *Client) Label(frames []video.Frame, alpha, lambda float64) (*LabelResponse, error) {
+	req := LabelRequest{DeviceID: c.DeviceID, Frames: frames, Alpha: alpha, Lambda: lambda}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(&req); err != nil {
+		return nil, fmt.Errorf("rpc: encode request: %w", err)
+	}
+	httpResp, err := c.HTTP.Post(c.BaseURL+"/v1/label", "application/octet-stream", &body)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: label: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		return nil, fmt.Errorf("rpc: label: %s: %s", httpResp.Status, bytes.TrimSpace(msg))
+	}
+	var resp LabelResponse
+	if err := gob.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("rpc: decode response: %w", err)
+	}
+	if len(resp.Labels) != len(frames) {
+		return nil, fmt.Errorf("rpc: label count mismatch: %d responses for %d frames", len(resp.Labels), len(frames))
+	}
+	return &resp, nil
+}
+
+// Status fetches cloud-side state for this device.
+func (c *Client) Status() (*StatusResponse, error) {
+	httpResp, err := c.HTTP.Get(c.BaseURL + "/v1/status?device=" + url.QueryEscape(c.DeviceID))
+	if err != nil {
+		return nil, fmt.Errorf("rpc: status: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		return nil, fmt.Errorf("rpc: status: %s: %s", httpResp.Status, bytes.TrimSpace(msg))
+	}
+	var resp StatusResponse
+	if err := gob.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("rpc: decode status: %w", err)
+	}
+	return &resp, nil
+}

@@ -1,0 +1,46 @@
+// Package rpc provides a real network transport for the Shoggoth protocol:
+// a cloud HTTP server offering online labeling plus sampling-rate control,
+// and an edge client. Payloads are gob-encoded over net/http. It exists to
+// demonstrate that the architecture runs as an actual distributed system,
+// not only inside the virtual-time simulation; cmd/shoggoth-cloud and
+// cmd/shoggoth-edge deploy it across processes, and the livecollab example
+// runs it in-process over loopback.
+//
+// One honesty note: requests carry full frame descriptions including ground
+// truth, because the teacher is a simulated oracle (see DESIGN.md §2). A
+// production system would upload encoded images instead.
+package rpc
+
+import (
+	"shoggoth/internal/detect"
+	"shoggoth/internal/video"
+)
+
+// LabelRequest is one uploaded sample buffer with edge telemetry.
+type LabelRequest struct {
+	// DeviceID isolates per-device state (φ continuity, controller) on the
+	// cloud; every edge device gets its own sampling rate.
+	DeviceID string
+	Frames   []video.Frame
+	// Alpha is the estimated accuracy since the last report (§III-C).
+	Alpha float64
+	// Lambda is the mean resource usage since the last report.
+	Lambda float64
+}
+
+// LabelResponse returns online labels and the new sampling rate.
+type LabelResponse struct {
+	// Labels holds one label set per uploaded frame.
+	Labels [][]detect.TeacherLabel
+	// PhiMean is the mean label-change loss over the buffer.
+	PhiMean float64
+	// NewRate is the controller's sampling-rate command (fps).
+	NewRate float64
+}
+
+// StatusResponse reports cloud-side state for a device.
+type StatusResponse struct {
+	DeviceID      string
+	Rate          float64
+	FramesLabeled int64
+}

@@ -1,0 +1,149 @@
+package rpc
+
+import (
+	"math/rand/v2"
+	"net/http/httptest"
+	"testing"
+
+	"shoggoth/internal/detect"
+	"shoggoth/internal/video"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *video.Profile) {
+	t.Helper()
+	p := video.DETRACProfile()
+	srv := httptest.NewServer(NewServer(p, 7).Handler())
+	t.Cleanup(srv.Close)
+	return srv, p
+}
+
+func collectFrames(p *video.Profile, seed uint64, n, stride int) []video.Frame {
+	stream := video.NewStream(p, seed)
+	var out []video.Frame
+	for i := 0; len(out) < n; i++ {
+		f := stream.Next()
+		if i%stride == 0 {
+			out = append(out, *f)
+		}
+	}
+	return out
+}
+
+func TestLabelRoundTrip(t *testing.T) {
+	srv, p := newTestServer(t)
+	client := NewClient(srv.URL, "edge-1")
+	frames := collectFrames(p, 1, 5, 15)
+
+	resp, err := client.Label(frames, 0.9, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Labels) != len(frames) {
+		t.Fatalf("want %d label sets, got %d", len(frames), len(resp.Labels))
+	}
+	for i, ls := range resp.Labels {
+		if len(ls) != len(frames[i].Proposals) {
+			t.Fatalf("frame %d: %d labels for %d proposals", i, len(ls), len(frames[i].Proposals))
+		}
+	}
+	cfg := NewServer(p, 7).ctrlCfg
+	if resp.NewRate < cfg.RMin || resp.NewRate > cfg.RMax {
+		t.Fatalf("rate out of bounds: %v", resp.NewRate)
+	}
+}
+
+func TestLabelsUsableForTraining(t *testing.T) {
+	srv, p := newTestServer(t)
+	client := NewClient(srv.URL, "edge-1")
+	frames := collectFrames(p, 2, 30, 15)
+	resp, err := client.Label(frames, 0.9, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	student := detect.NewStudent(p.FeatureDim(), p.NumClasses(), rng)
+	trainer := detect.NewTrainer(student, detect.DefaultTrainerConfig(), rng)
+	var batch []detect.LabeledRegion
+	for i := range frames {
+		batch = append(batch, detect.BuildTrainingBatch(&frames[i], resp.Labels[i], p.BackgroundClass())...)
+	}
+	stats := trainer.RunSession(batch)
+	if stats.Steps == 0 {
+		t.Fatal("training session should run on RPC-delivered labels")
+	}
+}
+
+func TestPhiContinuityAcrossRequests(t *testing.T) {
+	srv, p := newTestServer(t)
+	client := NewClient(srv.URL, "edge-1")
+	frames := collectFrames(p, 3, 10, 15)
+
+	// First call primes the labeler; second call should produce a non-zero
+	// φ since it compares against the previous request's last frame.
+	if _, err := client.Label(frames[:5], 0.9, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Label(frames[5:], 0.9, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PhiMean <= 0 {
+		t.Fatalf("expected positive φ on continuation, got %v", resp.PhiMean)
+	}
+}
+
+func TestPerDeviceIsolation(t *testing.T) {
+	srv, p := newTestServer(t)
+	a := NewClient(srv.URL, "edge-a")
+	bcl := NewClient(srv.URL, "edge-b")
+	frames := collectFrames(p, 4, 10, 15)
+
+	// Drive device A's controller up with poor accuracy, device B stays
+	// accurate; rates must diverge.
+	for i := 0; i < 4; i++ {
+		if _, err := a.Label(frames, 0.1, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bcl.Label(frames, 1.0, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sa, err := a.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := bcl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Rate <= sb.Rate {
+		t.Fatalf("inaccurate device should sample faster: a=%v b=%v", sa.Rate, sb.Rate)
+	}
+	if sa.FramesLabeled != sb.FramesLabeled {
+		t.Fatalf("both devices labeled the same count: %d vs %d", sa.FramesLabeled, sb.FramesLabeled)
+	}
+}
+
+func TestMissingDeviceIDRejected(t *testing.T) {
+	srv, p := newTestServer(t)
+	client := NewClient(srv.URL, "")
+	frames := collectFrames(p, 5, 2, 15)
+	if _, err := client.Label(frames, 0.9, 0.5); err == nil {
+		t.Fatal("expected error for missing device id")
+	}
+}
+
+func TestStatusUnknownDeviceCreatesState(t *testing.T) {
+	srv, _ := newTestServer(t)
+	client := NewClient(srv.URL, "fresh-device")
+	s, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FramesLabeled != 0 {
+		t.Fatalf("fresh device should have labeled nothing, got %d", s.FramesLabeled)
+	}
+	if s.Rate <= 0 {
+		t.Fatal("fresh device should report the initial rate")
+	}
+}

@@ -1,0 +1,121 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+
+	"shoggoth/internal/cloud"
+	"shoggoth/internal/detect"
+	"shoggoth/internal/video"
+)
+
+// Server is the cloud side: a shared teacher model with per-device labeling
+// state and sampling-rate controllers, served over HTTP.
+type Server struct {
+	profile    *video.Profile
+	labelerCfg cloud.LabelerConfig
+	ctrlCfg    cloud.ControllerConfig
+	seed       uint64
+
+	mu      sync.Mutex
+	devices map[string]*deviceState
+}
+
+type deviceState struct {
+	labeler *cloud.Labeler
+	ctrl    *cloud.Controller
+	labeled int64
+}
+
+// NewServer creates the cloud server for a profile.
+func NewServer(p *video.Profile, seed uint64) *Server {
+	return &Server{
+		profile:    p,
+		labelerCfg: cloud.DefaultLabelerConfig(),
+		ctrlCfg:    cloud.DefaultControllerConfig(),
+		seed:       seed,
+		devices:    make(map[string]*deviceState),
+	}
+}
+
+// Handler returns the HTTP handler exposing the Shoggoth cloud API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/label", s.handleLabel)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return mux
+}
+
+// device returns (creating on first use) the per-device state. Each device
+// gets its own teacher error stream and controller, like the paper's shared
+// cloud serving many edge devices.
+func (s *Server) device(id string) *deviceState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.devices[id]; ok {
+		return d
+	}
+	h := uint64(0)
+	for _, c := range id {
+		h = h*131 + uint64(c)
+	}
+	teacher := detect.NewTeacher(s.profile, rand.New(rand.NewPCG(s.seed, h)))
+	d := &deviceState{
+		labeler: cloud.NewLabeler(teacher, s.labelerCfg),
+		ctrl:    cloud.NewController(s.ctrlCfg),
+	}
+	s.devices[id] = d
+	return d
+}
+
+func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
+	var req LabelRequest
+	if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("decode: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.DeviceID == "" {
+		http.Error(w, "missing DeviceID", http.StatusBadRequest)
+		return
+	}
+	d := s.device(req.DeviceID)
+
+	resp := LabelResponse{Labels: make([][]detect.TeacherLabel, len(req.Frames))}
+	s.mu.Lock()
+	var phiSum float64
+	for i := range req.Frames {
+		res := d.labeler.LabelFrame(&req.Frames[i])
+		resp.Labels[i] = res.Labels
+		phiSum += res.Phi
+		d.labeled++
+	}
+	if len(req.Frames) > 0 {
+		resp.PhiMean = phiSum / float64(len(req.Frames))
+	}
+	resp.NewRate = d.ctrl.Update(resp.PhiMean, req.Alpha, req.Lambda)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := gob.NewEncoder(w).Encode(&resp); err != nil {
+		http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("device")
+	if id == "" {
+		http.Error(w, "missing device parameter", http.StatusBadRequest)
+		return
+	}
+	d := s.device(id)
+	s.mu.Lock()
+	resp := StatusResponse{DeviceID: id, Rate: d.ctrl.Rate(), FramesLabeled: d.labeled}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := gob.NewEncoder(w).Encode(&resp); err != nil {
+		http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
+	}
+}

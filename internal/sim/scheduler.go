@@ -1,0 +1,75 @@
+// Package sim provides the virtual-time machinery for experiments: an event
+// scheduler over a virtual clock. A one-hour video stream evaluates in
+// seconds of wall time while all latencies, training durations and bandwidth
+// integrals remain exact in stream time.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int64
+	fn  func(now float64)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO for simultaneous events: deterministic
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() event   { return h[0] }
+
+// Scheduler executes events in virtual-time order.
+type Scheduler struct {
+	now  float64
+	seq  int64
+	heap eventHeap
+}
+
+// NewScheduler creates a scheduler starting at time 0.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// At schedules fn to run at virtual time t. Events scheduled in the past run
+// at the current time (never before already-executed events).
+func (s *Scheduler) At(t float64, fn func(now float64)) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run delay seconds from now.
+func (s *Scheduler) After(delay float64, fn func(now float64)) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.At(s.now+delay, fn)
+}
+
+// AdvanceTo moves virtual time to t, executing every due event in order.
+// Events may schedule further events, including at times ≤ t.
+func (s *Scheduler) AdvanceTo(t float64) {
+	for len(s.heap) > 0 && s.heap.Peek().at <= t {
+		e := heap.Pop(&s.heap).(event)
+		s.now = e.at
+		e.fn(s.now)
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.heap) }

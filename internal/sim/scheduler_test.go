@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(3, func(float64) { order = append(order, 3) })
+	s.At(1, func(float64) { order = append(order, 1) })
+	s.At(2, func(float64) { order = append(order, 2) })
+	s.AdvanceTo(5)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order wrong: %v", order)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock should advance to 5, got %v", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.At(1, func(float64) { order = append(order, "a") })
+	s.At(1, func(float64) { order = append(order, "b") })
+	s.At(1, func(float64) { order = append(order, "c") })
+	s.AdvanceTo(1)
+	if got := order[0] + order[1] + order[2]; got != "abc" {
+		t.Fatalf("simultaneous events must run FIFO: %v", got)
+	}
+}
+
+func TestEventsSchedulingEvents(t *testing.T) {
+	s := NewScheduler()
+	var fired []float64
+	s.At(1, func(now float64) {
+		fired = append(fired, now)
+		s.After(1, func(now float64) { fired = append(fired, now) })
+	})
+	s.AdvanceTo(3)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("chained events wrong: %v", fired)
+	}
+}
+
+func TestFutureEventsNotRun(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.At(10, func(float64) { ran = true })
+	s.AdvanceTo(5)
+	if ran {
+		t.Fatal("future event must not run")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending: %d", s.Pending())
+	}
+	s.AdvanceTo(10)
+	if !ran {
+		t.Fatal("due event must run")
+	}
+}
+
+func TestPastEventClampsToNow(t *testing.T) {
+	s := NewScheduler()
+	s.AdvanceTo(5)
+	var at float64 = -1
+	s.At(1, func(now float64) { at = now })
+	s.AdvanceTo(5) // no time advance needed; event due at now
+	if at != 5 {
+		t.Fatalf("past event should fire at current time, got %v", at)
+	}
+}
+
+func TestAfterNegativeDelay(t *testing.T) {
+	s := NewScheduler()
+	s.AdvanceTo(2)
+	fired := false
+	s.After(-3, func(float64) { fired = true })
+	s.AdvanceTo(2)
+	if !fired {
+		t.Fatal("negative delay should fire immediately")
+	}
+}
+
+func TestEventTimeVisibleToCallback(t *testing.T) {
+	s := NewScheduler()
+	var seen float64
+	s.At(2.5, func(now float64) { seen = now })
+	s.AdvanceTo(10)
+	if seen != 2.5 {
+		t.Fatalf("callback should observe its own time, got %v", seen)
+	}
+}

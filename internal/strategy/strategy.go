@@ -1,0 +1,75 @@
+// Package strategy names, describes and configures the five strategies of
+// the paper's evaluation, providing the preset factory used by the CLI
+// tools, the experiment harness and the examples.
+package strategy
+
+import (
+	"fmt"
+	"strings"
+
+	"shoggoth/internal/core"
+	"shoggoth/internal/video"
+)
+
+// Descriptor summarises one strategy for help text and reports.
+type Descriptor struct {
+	Kind    core.StrategyKind
+	Name    string
+	Summary string
+}
+
+// All returns the strategies in the paper's column order.
+func All() []Descriptor {
+	return []Descriptor{
+		{core.EdgeOnly, "Edge-Only", "offline-trained student on the edge, no adaptation, no network"},
+		{core.CloudOnly, "Cloud-Only", "every frame inferred by the cloud golden model; maximum accuracy, maximum bandwidth, low FPS"},
+		{core.Prompt, "Prompt", "Shoggoth without adaptive sampling: fixed 2 fps uploads, prompt regular retraining"},
+		{core.AMS, "AMS", "adaptive model streaming: cloud-side fine-tuning, model updates streamed down"},
+		{core.Shoggoth, "Shoggoth", "decoupled distillation: cloud labels, edge latent-replay training, adaptive sampling"},
+	}
+}
+
+// Parse resolves a strategy name (case-insensitive, with common aliases).
+func Parse(name string) (core.StrategyKind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "edge-only", "edgeonly", "edge":
+		return core.EdgeOnly, nil
+	case "cloud-only", "cloudonly", "cloud":
+		return core.CloudOnly, nil
+	case "prompt":
+		return core.Prompt, nil
+	case "ams":
+		return core.AMS, nil
+	case "shoggoth":
+		return core.Shoggoth, nil
+	default:
+		return 0, fmt.Errorf("strategy: unknown strategy %q (want edge-only, cloud-only, prompt, ams or shoggoth)", name)
+	}
+}
+
+// Option mutates a Config preset.
+type Option func(*core.Config)
+
+// WithDuration overrides the stream duration in seconds.
+func WithDuration(sec float64) Option { return func(c *core.Config) { c.DurationSec = sec } }
+
+// WithSeed overrides the run seed.
+func WithSeed(seed uint64) Option { return func(c *core.Config) { c.Seed = seed } }
+
+// WithFixedRate pins the sampling rate (disables the adaptive controller).
+func WithFixedRate(fps float64) Option { return func(c *core.Config) { c.SampleRate = fps } }
+
+// WithCycles sets the duration to n passes of the profile's scenario script.
+func WithCycles(n float64) Option {
+	return func(c *core.Config) { c.DurationSec = n * c.Profile.ScriptDuration() }
+}
+
+// Configure builds the calibrated Config for a strategy on a profile with
+// optional overrides.
+func Configure(kind core.StrategyKind, p *video.Profile, opts ...Option) core.Config {
+	cfg := core.NewConfig(kind, p)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}

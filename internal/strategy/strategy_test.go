@@ -1,0 +1,61 @@
+package strategy
+
+import (
+	"testing"
+
+	"shoggoth/internal/core"
+	"shoggoth/internal/video"
+)
+
+func TestParseAllNamesAndAliases(t *testing.T) {
+	cases := map[string]core.StrategyKind{
+		"edge-only": core.EdgeOnly, "EdgeOnly": core.EdgeOnly, "edge": core.EdgeOnly,
+		"cloud-only": core.CloudOnly, "CLOUD": core.CloudOnly,
+		"prompt": core.Prompt, "ams": core.AMS, "Shoggoth": core.Shoggoth,
+	}
+	for name, want := range cases {
+		got, err := Parse(name)
+		if err != nil || got != want {
+			t.Fatalf("Parse(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestAllDescriptorsCoverEveryKind(t *testing.T) {
+	seen := map[core.StrategyKind]bool{}
+	for _, d := range All() {
+		if d.Name == "" || d.Summary == "" {
+			t.Fatal("descriptor must have name and summary")
+		}
+		seen[d.Kind] = true
+	}
+	for _, k := range core.StrategyKinds() {
+		if !seen[k] {
+			t.Fatalf("descriptor missing for %v", k)
+		}
+	}
+}
+
+func TestConfigureOptions(t *testing.T) {
+	p := video.KITTIProfile()
+	cfg := Configure(core.Shoggoth, p,
+		WithDuration(123), WithSeed(9), WithFixedRate(0.8))
+	if cfg.DurationSec != 123 || cfg.Seed != 9 || cfg.SampleRate != 0.8 {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+	cfg = Configure(core.Shoggoth, p, WithCycles(3))
+	if cfg.DurationSec != 3*p.ScriptDuration() {
+		t.Fatalf("WithCycles wrong: %v", cfg.DurationSec)
+	}
+}
+
+func TestPromptPresetFixesRate(t *testing.T) {
+	p := video.DETRACProfile()
+	cfg := Configure(core.Prompt, p)
+	if cfg.SampleRate != cfg.Controller.RMax {
+		t.Fatalf("Prompt preset should pin the max rate, got %v", cfg.SampleRate)
+	}
+}

@@ -1,0 +1,337 @@
+// Package tensor provides the dense linear-algebra primitives used by the
+// neural-network substrate. Only the small set of operations needed for
+// mini-batch MLP training is implemented; everything is row-major float64.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+// A Matrix with Rows == 1 doubles as a row vector.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero-initialised rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols, row-major) in a Matrix without
+// copying. The caller must not reuse data afterwards.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix by copying the given equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: ragged rows: row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns the i-th row as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Equal reports whether m and o have identical shape and elements within eps.
+func (m *Matrix) Equal(o *Matrix, eps float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-o.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}
+
+// MatMul returns a × b. Panics when inner dimensions disagree.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT returns a × bᵀ, avoiding an explicit transpose of b.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			out.Data[i*out.Cols+j] = s
+		}
+	}
+	return out
+}
+
+// TMatMul returns aᵀ × b, avoiding an explicit transpose of a.
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: tmatmul shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
+		brow := b.Data[r*b.Cols : (r+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Matrix) *Matrix {
+	checkSameShape("add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a − b element-wise.
+func Sub(a, b *Matrix) *Matrix {
+	checkSameShape("sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the element-wise (Hadamard) product a ⊙ b.
+func Mul(a, b *Matrix) *Matrix {
+	checkSameShape("mul", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace adds b into a element-wise.
+func AddInPlace(a, b *Matrix) {
+	checkSameShape("addInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Scale returns m scaled by s as a new matrix.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Matrix) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddRowVector adds the 1×Cols row vector v to every row of m, returning a
+// new matrix.
+func AddRowVector(m, v *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: addRowVector shape mismatch %dx%d + %dx%d", m.Rows, m.Cols, v.Rows, v.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			orow[j] = x + v.Data[j]
+		}
+	}
+	return out
+}
+
+// SumRows returns a 1×Cols row vector with the column sums of m.
+func SumRows(m *Matrix) *Matrix {
+	out := New(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			out.Data[j] += x
+		}
+	}
+	return out
+}
+
+// MeanRows returns a 1×Cols row vector with the column means of m.
+func MeanRows(m *Matrix) *Matrix {
+	out := SumRows(m)
+	if m.Rows > 0 {
+		out.ScaleInPlace(1 / float64(m.Rows))
+	}
+	return out
+}
+
+// VarRows returns a 1×Cols row vector with the (biased) column variances of
+// m around the provided mean row vector.
+func VarRows(m, mean *Matrix) *Matrix {
+	if mean.Rows != 1 || mean.Cols != m.Cols {
+		panic("tensor: varRows mean shape mismatch")
+	}
+	out := New(1, m.Cols)
+	if m.Rows == 0 {
+		return out
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			d := x - mean.Data[j]
+			out.Data[j] += d * d
+		}
+	}
+	out.ScaleInPlace(1 / float64(m.Rows))
+	return out
+}
+
+// ConcatRows stacks a on top of b (equal column counts).
+func ConcatRows(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols && a.Rows != 0 && b.Rows != 0 {
+		panic(fmt.Sprintf("tensor: concatRows col mismatch %d vs %d", a.Cols, b.Cols))
+	}
+	cols := a.Cols
+	if a.Rows == 0 {
+		cols = b.Cols
+	}
+	out := New(a.Rows+b.Rows, cols)
+	copy(out.Data, a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return out
+}
+
+// SelectRows returns a new matrix whose rows are m's rows at the given
+// indices, in order.
+func SelectRows(m *Matrix, idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// ArgMaxRow returns the index of the largest value in row i.
+func (m *Matrix) ArgMaxRow(i int) int {
+	row := m.Row(i)
+	best, bi := math.Inf(-1), 0
+	for j, v := range row {
+		if v > best {
+			best, bi = v, j
+		}
+	}
+	return bi
+}
+
+// Norm2 returns the Frobenius norm of m.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func checkSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

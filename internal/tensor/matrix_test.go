@@ -1,0 +1,273 @@
+package tensor
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("expected zeroed matrix, got %v", m.Data)
+		}
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("bad shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Fatalf("bad elements: %v", m.Data)
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := MatMul(a, b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("matmul: got %v want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulTMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := randomMatrix(rng, 4, 5)
+	b := randomMatrix(rng, 3, 5)
+	got := MatMulT(a, b)
+	want := MatMul(a, b.Transpose())
+	if !got.Equal(want, 1e-9) {
+		t.Fatal("MatMulT disagrees with MatMul(a, bᵀ)")
+	}
+}
+
+func TestTMatMulMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := randomMatrix(rng, 6, 4)
+	b := randomMatrix(rng, 6, 3)
+	got := TMatMul(a, b)
+	want := MatMul(a.Transpose(), b)
+	if !got.Equal(want, 1e-9) {
+		t.Fatal("TMatMul disagrees with MatMul(aᵀ, b)")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	m := randomMatrix(rng, 3, 7)
+	if !m.Transpose().Transpose().Equal(m, 0) {
+		t.Fatal("transpose twice should be identity")
+	}
+}
+
+func TestAddSubMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	if !Add(a, b).Equal(FromRows([][]float64{{6, 8}, {10, 12}}), 0) {
+		t.Fatal("add wrong")
+	}
+	if !Sub(b, a).Equal(FromRows([][]float64{{4, 4}, {4, 4}}), 0) {
+		t.Fatal("sub wrong")
+	}
+	if !Mul(a, b).Equal(FromRows([][]float64{{5, 12}, {21, 32}}), 0) {
+		t.Fatal("mul wrong")
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	v := FromRows([][]float64{{10, 20}})
+	got := AddRowVector(m, v)
+	want := FromRows([][]float64{{11, 22}, {13, 24}})
+	if !got.Equal(want, 0) {
+		t.Fatalf("addRowVector: got %v", got.Data)
+	}
+}
+
+func TestSumMeanVarRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 10}, {3, 30}})
+	if !SumRows(m).Equal(FromRows([][]float64{{4, 40}}), 0) {
+		t.Fatal("sumRows wrong")
+	}
+	mean := MeanRows(m)
+	if !mean.Equal(FromRows([][]float64{{2, 20}}), 0) {
+		t.Fatal("meanRows wrong")
+	}
+	va := VarRows(m, mean)
+	if !va.Equal(FromRows([][]float64{{1, 100}}), 1e-12) {
+		t.Fatalf("varRows wrong: %v", va.Data)
+	}
+}
+
+func TestConcatRows(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	got := ConcatRows(a, b)
+	want := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if !got.Equal(want, 0) {
+		t.Fatal("concatRows wrong")
+	}
+	empty := New(0, 0)
+	if !ConcatRows(empty, b).Equal(b, 0) {
+		t.Fatal("concat with empty should return b")
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	got := SelectRows(m, []int{2, 0})
+	want := FromRows([][]float64{{3, 3}, {1, 1}})
+	if !got.Equal(want, 0) {
+		t.Fatal("selectRows wrong")
+	}
+}
+
+func TestArgMaxRow(t *testing.T) {
+	m := FromRows([][]float64{{0.1, 0.9, 0.3}, {5, 1, 2}})
+	if m.ArgMaxRow(0) != 1 || m.ArgMaxRow(1) != 0 {
+		t.Fatal("argmax wrong")
+	}
+}
+
+func TestSoftmaxRowProperties(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		// Bound inputs so exp doesn't produce Inf under quick's extremes.
+		row := []float64{clampT(a), clampT(b), clampT(c)}
+		sm := SoftmaxRow(row)
+		var sum float64
+		for _, v := range sm {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	row := []float64{1, 2, 3}
+	shifted := []float64{101, 102, 103}
+	a, b := SoftmaxRow(row), SoftmaxRow(shifted)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatal("softmax must be shift invariant")
+		}
+	}
+}
+
+func TestDotAXPY(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("dot: got %v", Dot(a, b))
+	}
+	y := []float64{1, 1, 1}
+	AXPY(2, a, y)
+	if y[0] != 3 || y[1] != 5 || y[2] != 7 {
+		t.Fatalf("axpy: got %v", y)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("clamp wrong")
+	}
+}
+
+func TestL2Distance(t *testing.T) {
+	if d := L2Distance([]float64{0, 0}, []float64{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("l2: got %v", d)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	m := FromRows([][]float64{{3, 4}})
+	if math.Abs(m.Norm2()-5) > 1e-12 {
+		t.Fatal("norm2 wrong")
+	}
+}
+
+func TestMatMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 20; trial++ {
+		a := randomMatrix(rng, 3, 4)
+		b := randomMatrix(rng, 4, 2)
+		c := randomMatrix(rng, 2, 5)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		if !left.Equal(right, 1e-9) {
+			t.Fatal("matmul not associative within tolerance")
+		}
+	}
+}
+
+func TestScaleAndAddInPlace(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	s := m.Scale(3)
+	if !s.Equal(FromRows([][]float64{{3, 6}}), 0) {
+		t.Fatal("scale wrong")
+	}
+	if !m.Equal(FromRows([][]float64{{1, 2}}), 0) {
+		t.Fatal("scale must not mutate")
+	}
+	AddInPlace(m, s)
+	if !m.Equal(FromRows([][]float64{{4, 8}}), 0) {
+		t.Fatal("addInPlace wrong")
+	}
+}
+
+func clampT(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v > 50 {
+		return 50
+	}
+	if v < -50 {
+		return -50
+	}
+	return v
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}

@@ -1,0 +1,84 @@
+package tensor
+
+import "math"
+
+// SoftmaxRow computes the numerically-stable softmax of a single row slice,
+// returning a fresh slice.
+func SoftmaxRow(row []float64) []float64 {
+	out := make([]float64, len(row))
+	if len(row) == 0 {
+		return out
+	}
+	max := row[0]
+	for _, v := range row[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range row {
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Softmax applies SoftmaxRow to every row of m, returning a new matrix.
+func Softmax(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), SoftmaxRow(m.Row(i)))
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length slices.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AXPY computes y ← y + alpha*x for equal-length slices.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// L2Distance returns the Euclidean distance between two equal-length slices.
+func L2Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: l2 length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

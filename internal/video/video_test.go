@@ -1,0 +1,318 @@
+package video
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestStockProfilesValidate(t *testing.T) {
+	for _, p := range StockProfiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{ProfileDETRAC, ProfileKITTI, ProfileWaymo} {
+		p, err := ProfileByName(name)
+		if err != nil || p.Name != name {
+			t.Fatalf("ProfileByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile must error")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	p1, p2 := DETRACProfile(), DETRACProfile()
+	s1, s2 := NewStream(p1, 7), NewStream(p2, 7)
+	for i := 0; i < 50; i++ {
+		f1, f2 := s1.Next(), s2.Next()
+		if f1.Index != f2.Index || f1.Domain != f2.Domain || len(f1.Proposals) != len(f2.Proposals) {
+			t.Fatalf("frame %d differs between identically-seeded streams", i)
+		}
+		for j := range f1.Proposals {
+			if f1.Proposals[j].Anchor != f2.Proposals[j].Anchor {
+				t.Fatalf("frame %d proposal %d anchors differ", i, j)
+			}
+			for k := range f1.Proposals[j].Features {
+				if f1.Proposals[j].Features[k] != f2.Proposals[j].Features[k] {
+					t.Fatalf("frame %d proposal %d features differ", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamDifferentSeedsDiffer(t *testing.T) {
+	p := DETRACProfile()
+	f1 := NewStream(p, 1).Next()
+	f2 := NewStream(p, 2).Next()
+	same := len(f1.Proposals) == len(f2.Proposals)
+	if same {
+		for j := range f1.Proposals {
+			if f1.Proposals[j].Anchor != f2.Proposals[j].Anchor {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different frames")
+	}
+}
+
+func TestFrameTimingAndIndices(t *testing.T) {
+	p := KITTIProfile()
+	s := NewStream(p, 1)
+	for i := 0; i < 10; i++ {
+		f := s.Next()
+		if f.Index != i {
+			t.Fatalf("index %d != %d", f.Index, i)
+		}
+		want := float64(i) / p.FPS
+		if math.Abs(f.Time-want) > 1e-9 {
+			t.Fatalf("time %v != %v", f.Time, want)
+		}
+	}
+}
+
+func TestPopulationTracksObjectRate(t *testing.T) {
+	p := DETRACProfile()
+	s := NewStream(p, 3)
+	var total float64
+	const n = 600 // 20 seconds
+	for i := 0; i < n; i++ {
+		total += float64(s.Next().NumGT)
+	}
+	avg := total / n
+	want := p.Domains[0].ObjectRate // first segment is sunny
+	if math.Abs(avg-want) > want*0.35 {
+		t.Fatalf("mean object count %v too far from rate %v", avg, want)
+	}
+}
+
+func TestTemporalCorrelation(t *testing.T) {
+	// Consecutive frames must share most track IDs (objects persist).
+	p := DETRACProfile()
+	s := NewStream(p, 4)
+	prev := map[int]bool{}
+	f := s.Next()
+	for _, pr := range f.Proposals {
+		if pr.GT != nil {
+			prev[pr.GT.TrackID] = true
+		}
+	}
+	shared, totalPairs := 0, 0
+	for i := 0; i < 100; i++ {
+		f = s.Next()
+		cur := map[int]bool{}
+		for _, pr := range f.Proposals {
+			if pr.GT != nil {
+				cur[pr.GT.TrackID] = true
+				if prev[pr.GT.TrackID] {
+					shared++
+				}
+				totalPairs++
+			}
+		}
+		prev = cur
+	}
+	if totalPairs == 0 || float64(shared)/float64(totalPairs) < 0.9 {
+		t.Fatalf("tracks should persist across frames: %d/%d shared", shared, totalPairs)
+	}
+}
+
+func TestDomainScheduleFollowsScript(t *testing.T) {
+	p := DETRACProfile()
+	// At t=10 (mid first segment) domain must be sunny; at t=200 cloudy.
+	if got := p.Domains[p.DomainIndexAt(10)].Name; got != "sunny" {
+		t.Fatalf("t=10: got %s", got)
+	}
+	if got := p.Domains[p.DomainIndexAt(200)].Name; got != "cloudy" {
+		t.Fatalf("t=200: got %s", got)
+	}
+	// Script cycles: t = duration + 10 behaves like t = 10.
+	total := p.ScriptDuration()
+	if p.DomainIndexAt(total+10) != p.DomainIndexAt(10) {
+		t.Fatal("script must cycle")
+	}
+}
+
+func TestEffectiveDomainBlendsDuringTransition(t *testing.T) {
+	p := DETRACProfile()
+	// First segment boundary: sunny -> cloudy at t=150, transition 8s.
+	mid := p.EffectiveDomain(150 + 4)
+	sunny, cloudy := p.Domains[0].IllumScale, p.Domains[1].IllumScale
+	if mid.IllumScale <= math.Min(sunny, cloudy) || mid.IllumScale >= math.Max(sunny, cloudy) {
+		t.Fatalf("mid-transition illum %v should be strictly between %v and %v", mid.IllumScale, cloudy, sunny)
+	}
+	after := p.EffectiveDomain(150 + 9)
+	if after.IllumScale != cloudy {
+		t.Fatalf("after transition illum %v should equal cloudy %v", after.IllumScale, cloudy)
+	}
+}
+
+func TestEffectiveDomainClassMixNormalised(t *testing.T) {
+	p := DETRACProfile()
+	for _, tt := range []float64{0, 151, 152, 155, 270.5, 300, 712} {
+		eff := p.EffectiveDomain(tt)
+		var sum float64
+		for _, v := range eff.ClassMix {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("t=%v: class mix sums to %v", tt, sum)
+		}
+	}
+}
+
+func TestGeometryCueEncodesOffset(t *testing.T) {
+	// In the home domain (GeoGain 1), the geometry feature dims should
+	// correlate strongly with the true offset.
+	p := DETRACProfile()
+	s := NewStream(p, 5)
+	var sumErr, count float64
+	for i := 0; i < 200; i++ {
+		f := s.Next()
+		for _, pr := range f.Proposals {
+			if pr.GT == nil {
+				continue
+			}
+			for k := 0; k < GeoDim; k++ {
+				cue := pr.Features[p.AppearanceDim+k]
+				sumErr += math.Abs(cue - pr.TrueOffset[k])
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("no objects generated")
+	}
+	if mean := sumErr / count; mean > 3*p.GeoNoise {
+		t.Fatalf("home-domain geometry cue error %v too large (noise %v)", mean, p.GeoNoise)
+	}
+}
+
+func TestNightAttenuatesGeometryCue(t *testing.T) {
+	p := DETRACProfile()
+	night := &p.Domains[3]
+	if night.Name != "night" {
+		t.Fatal("expected domain 3 to be night")
+	}
+	if night.GeoGain >= p.Domains[0].GeoGain {
+		t.Fatal("night GeoGain should be lower than sunny")
+	}
+}
+
+func TestDistractorsHaveNoGT(t *testing.T) {
+	p := DETRACProfile()
+	s := NewStream(p, 6)
+	f := s.Next()
+	nGT, nBG := 0, 0
+	for _, pr := range f.Proposals {
+		if pr.GT != nil {
+			nGT++
+			if !pr.GT.Box.Valid() {
+				t.Fatal("GT box must be valid")
+			}
+		} else {
+			nBG++
+			if pr.TrueOffset != [4]float64{} {
+				t.Fatal("distractor must have zero offset")
+			}
+		}
+	}
+	if nGT != f.NumGT {
+		t.Fatalf("NumGT %d != counted %d", f.NumGT, nGT)
+	}
+	if nBG == 0 {
+		t.Fatal("expected some distractors")
+	}
+}
+
+func TestGeneratePretrainSet(t *testing.T) {
+	p := DETRACProfile()
+	rng := rand.New(rand.NewPCG(1, 1))
+	set := GeneratePretrainSet(p, 500, rng)
+	if len(set) != 500 {
+		t.Fatalf("want 500 samples, got %d", len(set))
+	}
+	bg, fg := 0, 0
+	for _, s := range set {
+		if len(s.Features) != p.FeatureDim() {
+			t.Fatal("bad feature dim")
+		}
+		if s.Class == p.BackgroundClass() {
+			bg++
+			if s.HasBox {
+				t.Fatal("background sample must not carry a box")
+			}
+		} else {
+			fg++
+			if s.Class < 0 || s.Class > p.NumClasses() {
+				t.Fatalf("class out of range: %d", s.Class)
+			}
+		}
+	}
+	if bg == 0 || fg == 0 {
+		t.Fatalf("expected both negatives and positives, got bg=%d fg=%d", bg, fg)
+	}
+}
+
+func TestClassMixShiftsAcrossDomains(t *testing.T) {
+	// The night domain should have a different class mixture than sunny
+	// (the paper's class-distribution shift).
+	p := DETRACProfile()
+	sunny, night := p.Domains[0].ClassMix, p.Domains[3].ClassMix
+	var diff float64
+	for i := range sunny {
+		diff += math.Abs(sunny[i] - night[i])
+	}
+	if diff < 0.2 {
+		t.Fatalf("class mix shift too small: %v", diff)
+	}
+}
+
+func TestHomeDomainHasZeroShift(t *testing.T) {
+	for _, p := range StockProfiles() {
+		for _, v := range p.Domains[0].Shift {
+			if v != 0 {
+				t.Fatalf("%s: home domain shift must be zero", p.Name)
+			}
+		}
+	}
+}
+
+func TestSampleCategoricalDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	probs := []float64{0.7, 0.2, 0.1}
+	counts := make([]int, 3)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[sampleCategorical(rng, probs)]++
+	}
+	for i, p := range probs {
+		got := float64(counts[i]) / n
+		if math.Abs(got-p) > 0.02 {
+			t.Fatalf("class %d: got %v want %v", i, got, p)
+		}
+	}
+}
+
+func TestMotionBounded(t *testing.T) {
+	p := WaymoProfile()
+	s := NewStream(p, 8)
+	for i := 0; i < 100; i++ {
+		f := s.Next()
+		if f.Motion < 0 || f.Motion > 1 {
+			t.Fatalf("motion out of [0,1]: %v", f.Motion)
+		}
+		if f.Complexity <= 0 {
+			t.Fatalf("complexity must be positive: %v", f.Complexity)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package shoggoth is a from-scratch Go reproduction of "Shoggoth: Towards
+// Efficient Edge-Cloud Collaborative Real-Time Video Inference via Adaptive
+// Online Learning" (DAC 2023).
+//
+// It simulates the full system of the paper — a lightweight student detector
+// on a resource-constrained edge device, a golden teacher model in the
+// cloud, decoupled knowledge distillation (cloud labels, edge trains),
+// latent-replay adaptive training and the adaptive frame-sampling
+// controller — over synthetic drifting video streams standing in for
+// UA-DETRAC, KITTI and Waymo. Student training is real SGD on a small
+// neural network, so data drift, catastrophic forgetting and replay
+// benefits emerge from optimisation dynamics rather than being scripted.
+//
+// Quick start:
+//
+//	profile, _ := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
+//	cfg := shoggoth.NewConfig(shoggoth.Shoggoth, profile)
+//	cfg.DurationSec = 720
+//	results, err := shoggoth.Run(cfg)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package shoggoth
+
+import (
+	"shoggoth/internal/core"
+	"shoggoth/internal/strategy"
+	"shoggoth/internal/video"
+)
+
+// Strategy kinds (Table I columns).
+const (
+	EdgeOnly  = core.EdgeOnly
+	CloudOnly = core.CloudOnly
+	Prompt    = core.Prompt
+	AMS       = core.AMS
+	Shoggoth  = core.Shoggoth
+)
+
+// Stock dataset profile names.
+const (
+	ProfileDETRAC = video.ProfileDETRAC
+	ProfileKITTI  = video.ProfileKITTI
+	ProfileWaymo  = video.ProfileWaymo
+)
+
+// Re-exported types of the public API.
+type (
+	// StrategyKind selects one of the five evaluated strategies.
+	StrategyKind = core.StrategyKind
+	// Config fully describes one experiment run.
+	Config = core.Config
+	// Results aggregates everything a run reports.
+	Results = core.Results
+	// Profile is a dataset-like workload definition.
+	Profile = video.Profile
+	// Option mutates a Config preset.
+	Option = strategy.Option
+)
+
+// ProfileByName returns a stock dataset profile (ProfileDETRAC,
+// ProfileKITTI or ProfileWaymo).
+func ProfileByName(name string) (*Profile, error) { return video.ProfileByName(name) }
+
+// Profiles returns the three stock dataset profiles in paper order.
+func Profiles() []*Profile { return video.StockProfiles() }
+
+// StrategyKinds returns all strategies in the paper's column order.
+func StrategyKinds() []StrategyKind { return core.StrategyKinds() }
+
+// ParseStrategy resolves a strategy name such as "shoggoth" or "edge-only".
+func ParseStrategy(name string) (StrategyKind, error) { return strategy.Parse(name) }
+
+// NewConfig returns the calibrated default configuration for a strategy on
+// a profile.
+func NewConfig(kind StrategyKind, p *Profile, opts ...Option) Config {
+	return strategy.Configure(kind, p, opts...)
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Results, error) { return core.RunExperiment(cfg) }
+
+// Options for NewConfig.
+var (
+	// WithDuration overrides the stream duration in seconds.
+	WithDuration = strategy.WithDuration
+	// WithSeed overrides the run seed.
+	WithSeed = strategy.WithSeed
+	// WithFixedRate pins the sampling rate, disabling the controller.
+	WithFixedRate = strategy.WithFixedRate
+	// WithCycles sets the duration in scenario-script passes.
+	WithCycles = strategy.WithCycles
+)

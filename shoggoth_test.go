@@ -1,0 +1,40 @@
+package shoggoth_test
+
+import (
+	"testing"
+
+	"shoggoth"
+)
+
+func TestFacadeProfiles(t *testing.T) {
+	if len(shoggoth.Profiles()) != 3 {
+		t.Fatal("want three stock profiles")
+	}
+	p, err := shoggoth.ProfileByName(shoggoth.ProfileKITTI)
+	if err != nil || p.Name != shoggoth.ProfileKITTI {
+		t.Fatalf("ProfileByName: %v %v", p, err)
+	}
+}
+
+func TestFacadeParseStrategy(t *testing.T) {
+	k, err := shoggoth.ParseStrategy("shoggoth")
+	if err != nil || k != shoggoth.Shoggoth {
+		t.Fatalf("ParseStrategy: %v %v", k, err)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	p, err := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shoggoth.NewConfig(shoggoth.EdgeOnly, p,
+		shoggoth.WithDuration(30), shoggoth.WithSeed(5))
+	res, err := shoggoth.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "Edge-Only" || res.FramesTotal == 0 {
+		t.Fatalf("unexpected results: %+v", res)
+	}
+}
