@@ -25,6 +25,7 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale runs (two scenario cycles per run)")
 	exp := flag.String("exp", "all", "experiment: table1, fig4, table2, table3, fig5, extra or all")
 	seed := flag.Uint64("seed", 1, "run seed")
+	workers := flag.Int("workers", 0, "concurrent sessions per experiment (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	mode := experiments.Quick()
@@ -32,6 +33,7 @@ func main() {
 		mode = experiments.Full()
 	}
 	mode.Seed = *seed
+	mode.Workers = *workers
 
 	want := strings.ToLower(*exp)
 	run := func(name string) bool { return want == "all" || want == name }

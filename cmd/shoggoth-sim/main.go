@@ -1,40 +1,40 @@
-// Command shoggoth-sim runs one strategy on one dataset profile and prints
-// the paper's metrics (mAP@0.5, up/down bandwidth, average FPS).
+// Command shoggoth-sim runs one strategy — or every registered strategy on
+// a fleet worker pool — on one dataset profile and prints the paper's
+// metrics (mAP@0.5, up/down bandwidth, average FPS).
 //
 // Usage:
 //
 //	shoggoth-sim -profile ua-detrac -strategy shoggoth -duration 1440 -seed 1
-//	shoggoth-sim -profile kitti -strategy all -json
+//	shoggoth-sim -profile kitti -strategy all -cycles 1 -json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand/v2"
 	"os"
 	"strings"
 
-	"shoggoth/internal/core"
-	"shoggoth/internal/detect"
-	"shoggoth/internal/strategy"
-	"shoggoth/internal/video"
+	"shoggoth"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("shoggoth-sim: ")
 
-	profileName := flag.String("profile", video.ProfileDETRAC, "dataset profile: ua-detrac, kitti or waymo")
+	profileName := flag.String("profile", shoggoth.ProfileDETRAC, "dataset profile: ua-detrac, kitti or waymo")
 	strategyName := flag.String("strategy", "shoggoth", "strategy: edge-only, cloud-only, prompt, ams, shoggoth or all")
-	duration := flag.Float64("duration", 0, "stream duration in seconds (0 = two script cycles)")
+	duration := flag.Float64("duration", 0, "stream duration in seconds (overrides -cycles)")
+	cycles := flag.Float64("cycles", 2, "stream duration in scenario-script passes")
 	seed := flag.Uint64("seed", 1, "run seed")
 	rate := flag.Float64("rate", 0, "fixed sampling rate in fps (0 = strategy default)")
+	workers := flag.Int("workers", 0, "concurrent sessions for -strategy all (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
 	flag.Parse()
 
-	profile, err := video.ProfileByName(*profileName)
+	profile, err := shoggoth.ProfileByName(*profileName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,25 +44,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Pretrain once; every strategy deploys the identical model.
-	pretrained := detect.NewPretrainedStudent(profile, rand.New(rand.NewPCG(profile.Seed, 3)))
+	opts := []shoggoth.Option{shoggoth.WithSeed(*seed), shoggoth.WithCycles(*cycles)}
+	if *duration > 0 {
+		opts = append(opts, shoggoth.WithDuration(*duration))
+	}
+	if *rate > 0 {
+		opts = append(opts, shoggoth.WithFixedRate(*rate))
+	}
+	cfgs := shoggoth.Grid([]*shoggoth.Profile{profile}, kinds, opts...)
 
-	var all []*core.Results
-	for _, kind := range kinds {
-		cfg := core.NewConfig(kind, profile)
-		cfg.Seed = *seed
-		cfg.Pretrained = pretrained
-		if *duration > 0 {
-			cfg.DurationSec = *duration
-		}
-		if *rate > 0 {
-			cfg.SampleRate = *rate
-		}
-		res, err := core.RunExperiment(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		all = append(all, res)
+	// The fleet bounds concurrency and pretrains one student per profile,
+	// so every strategy deploys the identical model.
+	fleet := &shoggoth.Fleet{Workers: *workers}
+	all, err := fleet.Run(context.Background(), cfgs)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *asJSON {
@@ -82,13 +78,13 @@ func main() {
 	}
 }
 
-func parseStrategies(name string) ([]core.StrategyKind, error) {
+func parseStrategies(name string) ([]shoggoth.StrategyKind, error) {
 	if strings.EqualFold(name, "all") {
-		return core.StrategyKinds(), nil
+		return shoggoth.StrategyKinds(), nil
 	}
-	kind, err := strategy.Parse(name)
+	kind, err := shoggoth.ParseStrategy(name)
 	if err != nil {
 		return nil, err
 	}
-	return []core.StrategyKind{kind}, nil
+	return []shoggoth.StrategyKind{kind}, nil
 }

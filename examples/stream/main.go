@@ -1,0 +1,56 @@
+// Streaming session walk-through: instead of the blocking Run, drive a
+// Session frame by frame with an Observer attached and watch the control
+// loop work in real time — per-window accuracy, the controller's
+// sampling-rate commands, and training sessions as their weights land.
+// A context deadline shows cooperative cancellation.
+//
+//	go run ./examples/stream
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"shoggoth"
+)
+
+func main() {
+	profile, err := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := shoggoth.NewConfig(shoggoth.Shoggoth, profile,
+		shoggoth.WithCycles(1), shoggoth.WithSeed(1))
+
+	sess, err := shoggoth.NewSession(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess.Observe(&shoggoth.ObserverFuncs{
+		WindowMAP: func(w shoggoth.WindowScore) {
+			if int(w.Start)%60 == 0 { // print one window per simulated minute
+				fmt.Printf("  t=%4.0fs  window mAP %.1f%%\n", w.Start, w.MAP*100)
+			}
+		},
+		RateCommand: func(pt shoggoth.RatePoint) {
+			fmt.Printf("  t=%4.0fs  cloud sets sampling rate %.2f fps\n", pt.Time, pt.Rate)
+		},
+		TrainingSession: func(rec shoggoth.SessionRecord) {
+			fmt.Printf("  t=%4.0fs  training session applied (ran %.0f–%.0fs)\n",
+				rec.Applied, rec.Start, rec.End)
+		},
+	})
+
+	fmt.Printf("streaming %s on %s (%.0f s of stream time)…\n\n",
+		"Shoggoth", profile.Name, cfg.DurationSec)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	res, err := sess.RunContext(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(res)
+}

@@ -1,12 +1,14 @@
 // Traffic surveillance scenario: the paper's motivating workload. A fixed
 // traffic camera watches a scene drifting through sunny, cloudy, rainy and
-// night conditions; all five strategies run on the identical stream and the
+// night conditions; all five strategies run on the identical stream — as a
+// Fleet, concurrently, sharing one pretrained student — and the
 // Table-I-style comparison is printed.
 //
 //	go run ./examples/traffic
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,19 +23,22 @@ func main() {
 	fmt.Printf("traffic camera scenario (%s), %0.f s of drifting video\n\n",
 		profile.Name, profile.ScriptDuration())
 
+	kinds := shoggoth.StrategyKinds()
+	cfgs := shoggoth.Grid([]*shoggoth.Profile{profile}, kinds, shoggoth.WithCycles(1))
+	fleet := &shoggoth.Fleet{}
+	results, err := fleet.Run(context.Background(), cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	type row struct {
 		name string
 		res  *shoggoth.Results
 	}
 	var rows []row
-	for _, kind := range shoggoth.StrategyKinds() {
-		cfg := shoggoth.NewConfig(kind, profile, shoggoth.WithCycles(1))
-		res, err := shoggoth.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rows = append(rows, row{kind.String(), res})
-		fmt.Printf("  finished %-11s mAP=%.1f%%\n", kind.String(), res.MAP50*100)
+	for i, kind := range kinds {
+		rows = append(rows, row{kind.String(), results[i]})
+		fmt.Printf("  finished %-11s mAP=%.1f%%\n", kind.String(), results[i].MAP50*100)
 	}
 
 	fmt.Printf("\n%-11s %9s %9s %9s %7s %9s\n", "strategy", "mAP@0.5", "up Kbps", "dn Kbps", "fps", "sessions")

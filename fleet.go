@@ -1,0 +1,186 @@
+package shoggoth
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"shoggoth/internal/core"
+	"shoggoth/internal/detect"
+)
+
+// StudentCache pretrains at most one student per profile and hands every
+// run a clone-source of the identical model. Pretraining is deterministic
+// in the profile seed, so a cached student equals a freshly pretrained one;
+// the cache only removes redundant work when many sessions share a profile.
+// The zero value is ready to use and safe for concurrent callers.
+type StudentCache struct {
+	mu       sync.Mutex
+	students map[string]*detect.Student
+	inflight map[string]*sync.Once
+}
+
+// Get returns the cached offline-pretrained student for a profile,
+// pretraining it on first use. Concurrent callers for the same profile
+// pretrain once.
+func (c *StudentCache) Get(p *Profile) *detect.Student {
+	c.mu.Lock()
+	if c.students == nil {
+		c.students = make(map[string]*detect.Student)
+		c.inflight = make(map[string]*sync.Once)
+	}
+	if s, ok := c.students[p.Name]; ok {
+		c.mu.Unlock()
+		return s
+	}
+	once, ok := c.inflight[p.Name]
+	if !ok {
+		once = new(sync.Once)
+		c.inflight[p.Name] = once
+	}
+	c.mu.Unlock()
+
+	once.Do(func() {
+		s := detect.DefaultPretrainedStudent(p)
+		c.mu.Lock()
+		c.students[p.Name] = s
+		c.mu.Unlock()
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.students[p.Name]
+}
+
+// Job is one session a Fleet runs: a config plus an optional per-session
+// observer.
+type Job struct {
+	Config   Config
+	Observer Observer
+}
+
+// Fleet runs many sessions — a (profile, strategy, seed) grid, a sweep, or
+// one config per camera — on a bounded worker pool with a shared
+// pretrained-student cache. The zero value is ready to use.
+type Fleet struct {
+	// Workers bounds concurrent sessions; 0 means GOMAXPROCS.
+	Workers int
+	// Cache, when set, shares pretrained students across fleets; nil uses
+	// a fleet-private cache.
+	Cache *StudentCache
+
+	own StudentCache
+}
+
+// cache returns the effective student cache.
+func (f *Fleet) cache() *StudentCache {
+	if f.Cache != nil {
+		return f.Cache
+	}
+	return &f.own
+}
+
+// Pretrained returns the fleet's cached offline-pretrained student for a
+// profile (exposed so harnesses can hand the identical model elsewhere).
+func (f *Fleet) Pretrained(p *Profile) *detect.Student { return f.cache().Get(p) }
+
+// Run executes the configs concurrently and returns results in input
+// order. Configs without an explicit Pretrained student get one from the
+// shared cache (identical to what they would pretrain themselves). The
+// first session error, or a context cancellation, aborts the remainder.
+func (f *Fleet) Run(ctx context.Context, cfgs []Config) ([]*Results, error) {
+	jobs := make([]Job, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = Job{Config: cfg}
+	}
+	return f.RunJobs(ctx, jobs)
+}
+
+// RunJobs is Run with per-session observers.
+func (f *Fleet) RunJobs(ctx context.Context, jobs []Job) ([]*Results, error) {
+	workers := f.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache := f.cache()
+	jobs = append([]Job(nil), jobs...) // the warm loop below must not mutate the caller's slice
+
+	// Warm the cache serially per distinct profile before fanning out, so
+	// the pool spends its workers on sessions rather than duplicate
+	// pretraining waits. Pretraining costs seconds per cold profile, so
+	// honour cancellation between profiles.
+	for i := range jobs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		job := &jobs[i]
+		if job.Config.Pretrained != nil || job.Config.Profile == nil {
+			continue
+		}
+		if d, ok := core.Lookup(job.Config.Kind); ok && d.Traits.Student {
+			job.Config.Pretrained = cache.Get(job.Config.Profile)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]*Results, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			sess, err := NewSession(jobs[i].Config)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			if jobs[i].Observer != nil {
+				sess.Observe(jobs[i].Observer)
+			}
+			out[i], errs[i] = sess.RunContext(ctx)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Prefer a real session error over the cancellations it caused.
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if err == context.Canceled || err == context.DeadlineExceeded {
+			ctxErr = err
+			continue
+		}
+		return nil, err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return out, nil
+}
+
+// Grid builds the (profile × strategy) config grid with shared options
+// applied to every cell — the Table I shape, ready for Fleet.Run.
+func Grid(profiles []*Profile, kinds []StrategyKind, opts ...Option) []Config {
+	out := make([]Config, 0, len(profiles)*len(kinds))
+	for _, p := range profiles {
+		for _, kind := range kinds {
+			out = append(out, NewConfig(kind, p, opts...))
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module shoggoth
+
+go 1.22

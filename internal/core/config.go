@@ -1,9 +1,10 @@
 // Package core ties every substrate together into the paper's system: the
 // edge device running real-time inference and adaptive training, the cloud
 // running online labeling and the sampling-rate controller, and the network
-// between them — executed on a virtual clock. One System supports all five
-// evaluated strategies (Edge-Only, Cloud-Only, Prompt, AMS, Shoggoth) via
-// configuration, since they share the deployment loop.
+// between them — executed on a virtual clock. One System supports any
+// registered Strategy (stock: Edge-Only, Cloud-Only, Prompt, AMS, Shoggoth)
+// since they share the deployment substrate; see strategy.go for the
+// registry and the per-strategy files for the stock behaviours.
 package core
 
 import (
@@ -15,41 +16,6 @@ import (
 	"shoggoth/internal/netsim"
 	"shoggoth/internal/video"
 )
-
-// StrategyKind selects the evaluated strategy.
-type StrategyKind int
-
-// The five strategies of Table I.
-const (
-	EdgeOnly StrategyKind = iota
-	CloudOnly
-	Prompt
-	AMS
-	Shoggoth
-)
-
-// String implements fmt.Stringer.
-func (k StrategyKind) String() string {
-	switch k {
-	case EdgeOnly:
-		return "Edge-Only"
-	case CloudOnly:
-		return "Cloud-Only"
-	case Prompt:
-		return "Prompt"
-	case AMS:
-		return "AMS"
-	case Shoggoth:
-		return "Shoggoth"
-	default:
-		return fmt.Sprintf("StrategyKind(%d)", int(k))
-	}
-}
-
-// StrategyKinds returns all strategies in the paper's column order.
-func StrategyKinds() []StrategyKind {
-	return []StrategyKind{EdgeOnly, CloudOnly, Prompt, AMS, Shoggoth}
-}
 
 // Config fully describes one experiment run.
 type Config struct {
@@ -110,7 +76,8 @@ type Config struct {
 }
 
 // NewConfig returns the calibrated default configuration for a strategy on
-// a profile.
+// a profile, then applies the strategy's registered Preset (for example,
+// Prompt pins the fixed maximum sampling rate).
 func NewConfig(kind StrategyKind, p *video.Profile) Config {
 	cfg := Config{
 		Kind:                 kind,
@@ -136,14 +103,18 @@ func NewConfig(kind StrategyKind, p *video.Profile) Config {
 		AMSCloudSpeedup:      40,
 		AMSQuantNoise:        0.025,
 	}
-	if kind == Prompt {
-		cfg.SampleRate = cfg.Controller.RMax // fixed 2 fps, no adaptation
+	if d, ok := Lookup(kind); ok && d.Preset != nil {
+		d.Preset(&cfg)
 	}
 	return cfg
 }
 
 // Validate rejects inconsistent configurations.
 func (c *Config) Validate() error {
+	d, ok := Lookup(c.Kind)
+	if !ok {
+		return fmt.Errorf("core: unregistered strategy kind %d", int(c.Kind))
+	}
 	if c.Profile == nil {
 		return fmt.Errorf("core: config needs a profile")
 	}
@@ -153,7 +124,7 @@ func (c *Config) Validate() error {
 	if c.DurationSec <= 0 {
 		return fmt.Errorf("core: non-positive duration")
 	}
-	if c.Kind != EdgeOnly && c.Kind != CloudOnly {
+	if d.Traits.Uploads {
 		if c.UploadFrames <= 0 || c.BatchFrames <= 0 {
 			return fmt.Errorf("core: upload/batch frame counts must be positive")
 		}

@@ -8,46 +8,48 @@ import (
 
 // SessionRecord logs one adaptive-training session (edge or cloud side).
 type SessionRecord struct {
-	Start   float64
-	End     float64
-	Stats   interface{ String() string } // optional detail
-	Applied float64                      // when the new weights took effect
+	Start   float64                      `json:"start"`
+	End     float64                      `json:"end"`
+	Stats   interface{ String() string } `json:"stats,omitempty"` // optional detail
+	Applied float64                      `json:"applied"`         // when the new weights took effect
 }
 
 // RatePoint is one sampling-rate command over time.
 type RatePoint struct {
-	Time float64
-	Rate float64
+	Time float64 `json:"time"`
+	Rate float64 `json:"rate"`
 }
 
-// Results aggregates everything an experiment reports.
+// Results aggregates everything an experiment reports. The JSON field names
+// are a stable lower-snake schema for downstream tooling (the -json output
+// of cmd/shoggoth-sim).
 type Results struct {
-	Strategy string
-	Profile  string
-	Duration float64
+	Strategy string  `json:"strategy"`
+	Profile  string  `json:"profile"`
+	Duration float64 `json:"duration_sec"`
 
-	MAP50  float64
-	AvgIoU float64
+	MAP50  float64 `json:"map50"`
+	AvgIoU float64 `json:"avg_iou"`
 
-	UpKbps    float64
-	DownKbps  float64
-	UpBytes   int64
-	DownBytes int64
+	UpKbps    float64 `json:"up_kbps"`
+	DownKbps  float64 `json:"down_kbps"`
+	UpBytes   int64   `json:"up_bytes"`
+	DownBytes int64   `json:"down_bytes"`
 
-	AvgFPS    float64
-	FPSSeries []float64 // per-second effective FPS (Figure 4 right)
+	AvgFPS    float64   `json:"avg_fps"`
+	FPSSeries []float64 `json:"fps_series,omitempty"` // per-second effective FPS (Figure 4 right)
 
-	Sessions     int
-	SessionTimes []SessionRecord
-	RateSeries   []RatePoint
-	PhiMean      float64
-	AlphaMean    float64
+	Sessions     int             `json:"sessions"`
+	SessionTimes []SessionRecord `json:"session_times,omitempty"`
+	RateSeries   []RatePoint     `json:"rate_series,omitempty"`
+	PhiMean      float64         `json:"phi_mean"`
+	AlphaMean    float64         `json:"alpha_mean"`
 
-	WindowMAPs []metrics.WindowScore
+	WindowMAPs []metrics.WindowScore `json:"window_maps,omitempty"`
 
-	FramesProcessed int
-	FramesTotal     int
-	SampledFrames   int
+	FramesProcessed int `json:"frames_processed"`
+	FramesTotal     int `json:"frames_total"`
+	SampledFrames   int `json:"sampled_frames"`
 }
 
 // String renders a one-line summary.

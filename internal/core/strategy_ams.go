@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+
+	"shoggoth/internal/detect"
+	"shoggoth/internal/netsim"
+	"shoggoth/internal/video"
+)
+
+// amsStrategy reproduces AMS (adaptive model streaming): the cloud
+// fine-tunes its own copy of the student on raw uploaded samples and streams
+// compressed model updates down to the edge.
+type amsStrategy struct {
+	BaseStrategy
+	student *detect.Student // cloud-resident copy
+	trainer *detect.Trainer
+	busyTil float64 // cloud training serialisation
+}
+
+func (st *amsStrategy) Init(sys *System) error {
+	st.Sys = sys
+	st.student = sys.Student().Clone()
+	// AMS fine-tunes the entire model in the cloud; its replay buffer holds
+	// raw samples (no latent aging) at the same capacity.
+	tc := sys.Config().Trainer
+	tc.Placement = detect.PlacementInput
+	st.trainer = detect.NewTrainer(st.student, tc, sys.SeededRNG(5))
+	return nil
+}
+
+func (st *amsStrategy) OnFrame(f *video.Frame, t, dt float64) {
+	st.Sys.InferFrame(f, t, dt)
+	st.Sys.SampleForUpload(f, t)
+}
+
+// OnCloudBatch keeps the labels in the cloud: they feed the cloud-side
+// trainer directly, nothing is downloaded until a model update ships.
+func (st *amsStrategy) OnCloudBatch(frames []*video.Frame, labels [][]detect.TeacherLabel, done float64) {
+	st.Sys.DepositLabels(frames, labels, done)
+}
+
+// OnTrainDue schedules a cloud-side training round and the model download
+// that follows it.
+func (st *amsStrategy) OnTrainDue(batch []detect.LabeledRegion, now float64) {
+	sys := st.Sys
+	cfg := sys.Config()
+	cost := sys.ClaimSessionCost(st.trainer.Config)
+	dur := cost.TotalSec() / cfg.AMSCloudSpeedup
+	start := math.Max(now, st.busyTil)
+	end := start + dur
+	st.busyTil = end
+	sys.Scheduler().At(end, func(endNow float64) {
+		st.trainer.RunSession(batch)
+		sys.AddSession()
+		bytes := netsim.ModelUpdateBytes()
+		sys.Usage().AddDown(bytes)
+		arrive := endNow + cfg.Downlink.TransferSeconds(bytes)
+		sys.Scheduler().At(arrive, func(applyNow float64) {
+			st.applyUpdate()
+			sys.RecordSession(SessionRecord{Start: start, End: endNow, Applied: applyNow})
+		})
+	})
+}
+
+// applyUpdate installs the streamed model on the edge, with the quantization
+// noise of AMS's compressed updates.
+func (st *amsStrategy) applyUpdate() {
+	sys := st.Sys
+	student := sys.Student()
+	student.CopyWeightsFrom(st.student)
+	noise := sys.Config().AMSQuantNoise
+	if noise <= 0 {
+		return
+	}
+	rng := sys.RNG()
+	for _, p := range student.Params() {
+		rms := p.Value.Norm2() / math.Sqrt(float64(len(p.Value.Data)))
+		sigma := noise * rms
+		for i := range p.Value.Data {
+			p.Value.Data[i] += rng.NormFloat64() * sigma
+		}
+	}
+}

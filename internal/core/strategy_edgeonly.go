@@ -1,0 +1,12 @@
+package core
+
+import "shoggoth/internal/video"
+
+// edgeOnlyStrategy runs the offline-pretrained student on every frame and
+// never touches the network: the Table I floor that shows what data drift
+// costs an unadapted model.
+type edgeOnlyStrategy struct{ BaseStrategy }
+
+func (st *edgeOnlyStrategy) OnFrame(f *video.Frame, t, dt float64) {
+	st.Sys.InferFrame(f, t, dt)
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+
+	"shoggoth/internal/detect"
+	"shoggoth/internal/netsim"
+	"shoggoth/internal/video"
+)
+
+// edgeTrainStrategy is the decoupled-distillation family (Shoggoth and
+// Prompt): the cloud labels uploaded samples, the labels stream back, and
+// the edge fine-tunes its own student with latent replay. Shoggoth adds the
+// adaptive sampling controller via its Traits; Prompt pins the maximum rate
+// via its Preset — the deployment behaviour here is identical.
+type edgeTrainStrategy struct {
+	BaseStrategy
+	trainer *detect.Trainer
+	busyTil float64 // edge training serialisation
+}
+
+func (st *edgeTrainStrategy) Init(sys *System) error {
+	st.Sys = sys
+	st.trainer = detect.NewTrainer(sys.Student(), sys.Config().Trainer, sys.SeededRNG(4))
+	return nil
+}
+
+func (st *edgeTrainStrategy) OnFrame(f *video.Frame, t, dt float64) {
+	st.Sys.InferFrame(f, t, dt)
+	st.Sys.SampleForUpload(f, t)
+}
+
+// OnCloudBatch sends the label sets down to the edge; the training batch
+// accumulates once they arrive.
+func (st *edgeTrainStrategy) OnCloudBatch(frames []*video.Frame, labels [][]detect.TeacherLabel, done float64) {
+	sys := st.Sys
+	cfg := sys.Config()
+	nRegions := 0
+	for _, ls := range labels {
+		nRegions += len(ls)
+	}
+	lb := netsim.LabelSetBytes(nRegions)
+	sys.Usage().AddDown(lb)
+	at := done + cfg.Downlink.TransferSeconds(lb)
+	sys.Scheduler().At(at, func(labNow float64) {
+		sys.DepositLabels(frames, labels, labNow)
+	})
+}
+
+// OnTrainDue schedules an adaptive-training session on the edge device.
+func (st *edgeTrainStrategy) OnTrainDue(batch []detect.LabeledRegion, now float64) {
+	sys := st.Sys
+	cost := sys.ClaimSessionCost(st.trainer.Config)
+	start := math.Max(now, st.busyTil)
+	end := start + cost.TotalSec()
+	st.busyTil = end
+	sys.Scheduler().At(start, func(float64) { sys.Device().BeginTraining(end) })
+	sys.Scheduler().At(end, func(endNow float64) {
+		st.trainer.RunSession(batch)
+		sys.AddSession()
+		sys.RecordSession(SessionRecord{Start: start, End: endNow, Applied: endNow})
+	})
+}

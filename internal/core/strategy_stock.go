@@ -1,0 +1,40 @@
+package core
+
+// The five stock strategies of Table I register here, in the paper's column
+// order, so their kinds match the EdgeOnly…Shoggoth constants. Everything
+// else about them lives in their own files — the deployment loop never
+// mentions them by name.
+func init() {
+	MustRegister(Descriptor{
+		Name:    "Edge-Only",
+		Aliases: []string{"edgeonly", "edge"},
+		Summary: "offline-trained student on the edge, no adaptation, no network",
+		Traits:  Traits{Student: true},
+		New:     func() Strategy { return &edgeOnlyStrategy{} },
+	})
+	MustRegister(Descriptor{
+		Name:    "Cloud-Only",
+		Aliases: []string{"cloudonly", "cloud"},
+		Summary: "every frame inferred by the cloud golden model; maximum accuracy, maximum bandwidth, low FPS",
+		New:     func() Strategy { return &cloudOnlyStrategy{} },
+	})
+	MustRegister(Descriptor{
+		Name:    "Prompt",
+		Summary: "Shoggoth without adaptive sampling: fixed 2 fps uploads, prompt regular retraining",
+		Traits:  Traits{Student: true, Uploads: true},
+		Preset:  func(c *Config) { c.SampleRate = c.Controller.RMax },
+		New:     func() Strategy { return &edgeTrainStrategy{} },
+	})
+	MustRegister(Descriptor{
+		Name:    "AMS",
+		Summary: "adaptive model streaming: cloud-side fine-tuning, model updates streamed down",
+		Traits:  Traits{Student: true, Uploads: true, Adaptive: true},
+		New:     func() Strategy { return &amsStrategy{} },
+	})
+	MustRegister(Descriptor{
+		Name:    "Shoggoth",
+		Summary: "decoupled distillation: cloud labels, edge latent-replay training, adaptive sampling",
+		Traits:  Traits{Student: true, Uploads: true, Adaptive: true},
+		New:     func() Strategy { return &edgeTrainStrategy{} },
+	})
+}

@@ -14,9 +14,14 @@ import (
 )
 
 // System is one simulated deployment: camera → edge device → network →
-// cloud, executing a strategy over a drifting video stream in virtual time.
+// cloud, executed in virtual time. It owns the substrate every strategy
+// shares — drifting stream, student and teacher models, online labeler,
+// sampling-rate controller, device and network accounting — and dispatches
+// to the configured Strategy's hooks wherever behaviour differs. The
+// deployment loop itself knows no strategy by name.
 type System struct {
-	cfg Config
+	cfg      Config
+	strategy Strategy
 
 	rng    *rand.Rand
 	sched  *sim.Scheduler
@@ -28,12 +33,6 @@ type System struct {
 	ctrl    *cloud.Controller
 	device  *edge.Device
 	sampler *edge.Sampler
-	trainer *detect.Trainer // edge-side trainer (Shoggoth/Prompt)
-
-	// AMS: the cloud fine-tunes a copy of the student and streams updates.
-	amsStudent     *detect.Student
-	amsTrainer     *detect.Trainer
-	cloudTrainBusy float64
 
 	cloudBusy float64 // labeling service serialisation
 
@@ -47,18 +46,22 @@ type System struct {
 	firstBuffered float64
 	pendingBatch  []detect.LabeledRegion
 	batchFrames   int
-	trainBusyTil  float64
 	sessionsSched int
 
-	lastRoundTrip float64 // Cloud-Only pipeline state
-	cloudFreeAt   float64
+	obs           Observer
+	nextWindowEnd float64
 
-	results Results
+	frameIdx int
+	nFrames  int
+	dt       float64
+	final    *Results
+	results  Results
 }
 
 // adaptive reports whether the cloud controller drives the sampling rate.
 func (c *Config) adaptive() bool {
-	return c.SampleRate == 0 && (c.Kind == Shoggoth || c.Kind == AMS)
+	d, ok := Lookup(c.Kind)
+	return ok && d.Traits.Adaptive && c.SampleRate == 0
 }
 
 // NewSystem builds a deployment for the config. If cfg.Pretrained is nil the
@@ -68,6 +71,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	desc, _ := Lookup(cfg.Kind) // Validate rejected unregistered kinds
 	s := &System{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x51057E)),
@@ -77,15 +81,15 @@ func NewSystem(cfg Config) (*System, error) {
 	s.stream = video.NewStream(cfg.Profile, cfg.Seed)
 	// The teacher is seeded from the run seed only, so every strategy on
 	// the same (profile, seed) sees identical teacher behaviour.
-	s.teacher = detect.NewTeacher(cfg.Profile, rand.New(rand.NewPCG(cfg.Seed, 2)))
+	s.teacher = detect.NewTeacher(cfg.Profile, s.SeededRNG(2))
 	s.labeler = cloud.NewLabeler(s.teacher, cfg.Labeler)
 	s.device = edge.NewDevice(cfg.Device)
 
-	if cfg.Kind != CloudOnly {
+	if desc.Traits.Student {
 		if cfg.Pretrained != nil {
 			s.student = cfg.Pretrained.Clone()
 		} else {
-			s.student = detect.NewPretrainedStudent(cfg.Profile, rand.New(rand.NewPCG(cfg.Profile.Seed, 3)))
+			s.student = detect.DefaultPretrainedStudent(cfg.Profile)
 		}
 	}
 
@@ -96,16 +100,13 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	s.sampler = edge.NewSampler(rate)
 
-	switch cfg.Kind {
-	case Shoggoth, Prompt:
-		s.trainer = detect.NewTrainer(s.student, cfg.Trainer, rand.New(rand.NewPCG(cfg.Seed, 4)))
-	case AMS:
-		s.amsStudent = s.student.Clone()
-		amsCfg := cfg.Trainer
-		// AMS fine-tunes the entire model in the cloud; its replay buffer
-		// holds raw samples (no latent aging) at the same capacity.
-		amsCfg.Placement = detect.PlacementInput
-		s.amsTrainer = detect.NewTrainer(s.amsStudent, amsCfg, rand.New(rand.NewPCG(cfg.Seed, 5)))
+	s.dt = 1 / cfg.Profile.FPS
+	s.nFrames = int(cfg.DurationSec * cfg.Profile.FPS)
+	s.nextWindowEnd = cfg.WindowSec
+
+	s.strategy = desc.New()
+	if err := s.strategy.Init(s); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -113,46 +114,114 @@ func NewSystem(cfg Config) (*System, error) {
 // Run executes the deployment for the configured duration and returns the
 // aggregated results.
 func (s *System) Run() (*Results, error) {
-	cfg := s.cfg
-	fps := cfg.Profile.FPS
-	dt := 1 / fps
-	n := int(cfg.DurationSec * fps)
-	s.lastRoundTrip = 0.2
-
-	for i := 0; i < n; i++ {
-		t := float64(i) * dt
-		s.sched.AdvanceTo(t)
-		f := s.stream.Next()
-		s.results.FramesTotal++
-		if cfg.Kind == CloudOnly {
-			s.cloudOnlyFrame(f, t)
-		} else {
-			s.edgeFrame(f, t, dt)
-		}
+	for s.Step() {
 	}
-	s.sched.AdvanceTo(cfg.DurationSec)
-	return s.finalize(), nil
+	return s.Finish(), nil
 }
 
-// edgeFrame handles one camera frame on the edge-resident strategies.
-func (s *System) edgeFrame(f *video.Frame, t, dt float64) {
-	cfg := s.cfg
-	if s.device.Tick(t, dt) {
-		res := s.student.Infer(f)
-		s.results.FramesProcessed++
-		s.collect(f, res.Detections)
-		for _, c := range res.Confidences {
-			acc := 0.0
-			if c >= cfg.ConfThreshold {
-				acc = 1
-			}
-			s.alphaAcc.Add(acc)
-			s.alphaAll.Add(acc)
-		}
+// Step advances the deployment by one camera frame (plus every cloud,
+// network and training event due before it) and reports whether frames
+// remain. Call Finish once it returns false.
+func (s *System) Step() bool {
+	if s.frameIdx >= s.nFrames || s.final != nil {
+		return false
 	}
-	if cfg.Kind == EdgeOnly {
+	t := float64(s.frameIdx) * s.dt
+	s.sched.AdvanceTo(t)
+	f := s.stream.Next()
+	s.results.FramesTotal++
+	s.strategy.OnFrame(f, t, s.dt)
+	s.frameIdx++
+	s.emitWindows(t)
+	return s.frameIdx < s.nFrames
+}
+
+// Finish drains the scheduler and assembles the Results. A fully-played
+// stream settles at the configured duration; a truncated one (stepped
+// partway, then finished) settles at the elapsed stream time, so Duration
+// and bandwidth rates describe what actually ran. It is idempotent.
+func (s *System) Finish() *Results {
+	if s.final != nil {
+		return s.final
+	}
+	end := s.cfg.DurationSec
+	if s.frameIdx < s.nFrames {
+		end = float64(s.frameIdx) * s.dt
+	}
+	s.sched.AdvanceTo(end)
+	s.emitWindows(end + s.cfg.WindowSec) // flush the tail windows
+	s.final = s.finalize(end)
+	return s.final
+}
+
+// emitWindows streams the mAP of every window that closed before t to the
+// observer (read-only over the collector: Results are unaffected).
+func (s *System) emitWindows(t float64) {
+	if s.obs == nil || s.cfg.WindowSec <= 0 {
 		return
 	}
+	for t >= s.nextWindowEnd && s.nextWindowEnd-s.cfg.WindowSec < s.cfg.DurationSec {
+		start := s.nextWindowEnd - s.cfg.WindowSec
+		if m, ok := s.collector.WindowMAP50At(start, s.cfg.WindowSec); ok {
+			s.obs.OnWindowMAP(metrics.WindowScore{Start: start, MAP: m})
+		}
+		s.nextWindowEnd += s.cfg.WindowSec
+	}
+}
+
+// SetObserver attaches a streaming observer; call it before the first Step.
+func (s *System) SetObserver(o Observer) { s.obs = o }
+
+// Config returns the run configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Scheduler exposes the virtual-time event scheduler.
+func (s *System) Scheduler() *sim.Scheduler { return s.sched }
+
+// Device exposes the edge device model.
+func (s *System) Device() *edge.Device { return s.device }
+
+// Teacher exposes the cloud golden model.
+func (s *System) Teacher() *detect.Teacher { return s.teacher }
+
+// Sampler exposes the edge frame sampler.
+func (s *System) Sampler() *edge.Sampler { return s.sampler }
+
+// Usage exposes the network byte accounting.
+func (s *System) Usage() *netsim.Usage { return &s.usage }
+
+// RNG returns the system's run RNG (shared by subsampling and noise
+// injection; consumption order is part of a run's determinism contract).
+func (s *System) RNG() *rand.Rand { return s.rng }
+
+// SeededRNG derives an independent RNG from the run seed and a stream id,
+// so per-strategy components get stable, collision-free randomness.
+func (s *System) SeededRNG(stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(s.cfg.Seed, stream))
+}
+
+// InferFrame runs real-time student inference for one camera frame if the
+// device has cycles for it, recording detections and the α estimate.
+func (s *System) InferFrame(f *video.Frame, t, dt float64) {
+	if !s.device.Tick(t, dt) {
+		return
+	}
+	res := s.student.Infer(f)
+	s.RecordProcessedFrame(f, res.Detections)
+	for _, c := range res.Confidences {
+		acc := 0.0
+		if c >= s.cfg.ConfThreshold {
+			acc = 1
+		}
+		s.alphaAcc.Add(acc)
+		s.alphaAll.Add(acc)
+	}
+}
+
+// SampleForUpload offers one frame to the sampler and flushes the sample
+// buffer to the cloud when it is full (or has waited too long).
+func (s *System) SampleForUpload(f *video.Frame, t float64) {
+	cfg := s.cfg
 	if s.sampler.Sample(t) {
 		if len(s.sampleBuf) == 0 {
 			s.firstBuffered = t
@@ -191,8 +260,8 @@ func (s *System) flushBuffer(t float64) {
 }
 
 // cloudReceive is the cloud's handler for an uploaded sample batch: online
-// labeling, φ computation, controller update, and either label return
-// (Shoggoth/Prompt) or cloud-side training (AMS).
+// labeling, φ computation and the controller update are shared substrate;
+// the labeled batch is then handed to the strategy's OnCloudBatch hook.
 func (s *System) cloudReceive(frames []*video.Frame, alpha, lambda, now float64) {
 	cfg := s.cfg
 	start := math.Max(now, s.cloudBusy)
@@ -215,27 +284,28 @@ func (s *System) cloudReceive(frames []*video.Frame, alpha, lambda, now float64)
 		at := done + cfg.Downlink.TransferSeconds(netsim.RateCommandBytes())
 		s.sched.At(at, func(cmdNow float64) {
 			s.sampler.SetRate(rate)
-			s.results.RateSeries = append(s.results.RateSeries, RatePoint{Time: cmdNow, Rate: rate})
+			pt := RatePoint{Time: cmdNow, Rate: rate}
+			s.results.RateSeries = append(s.results.RateSeries, pt)
+			if s.obs != nil {
+				s.obs.OnRateCommand(pt)
+			}
 		})
 	}
 
-	if cfg.Kind == AMS {
-		s.accumulateBatch(frames, labels)
-		s.maybeTrainCloud(done)
+	s.strategy.OnCloudBatch(frames, labels, done)
+}
+
+// DepositLabels converts labeled frames into training regions and fires the
+// strategy's OnTrainDue hook once a full batch has accumulated.
+func (s *System) DepositLabels(frames []*video.Frame, labels [][]detect.TeacherLabel, now float64) {
+	s.accumulateBatch(frames, labels)
+	if s.batchFrames < s.cfg.BatchFrames {
 		return
 	}
-
-	nRegions := 0
-	for _, ls := range labels {
-		nRegions += len(ls)
-	}
-	lb := netsim.LabelSetBytes(nRegions)
-	s.usage.AddDown(lb)
-	at := done + cfg.Downlink.TransferSeconds(lb)
-	s.sched.At(at, func(labNow float64) {
-		s.accumulateBatch(frames, labels)
-		s.maybeTrainEdge(labNow)
-	})
+	batch := s.pendingBatch
+	s.pendingBatch = nil
+	s.batchFrames = 0
+	s.strategy.OnTrainDue(batch, now)
 }
 
 // accumulateBatch converts labeled frames into training regions, applying
@@ -283,110 +353,37 @@ func (s *System) subsample(regions []detect.LabeledRegion) []detect.LabeledRegio
 	return out
 }
 
-// maybeTrainEdge schedules an adaptive-training session on the edge device
-// once a full batch of labeled frames has accumulated.
-func (s *System) maybeTrainEdge(now float64) {
-	cfg := s.cfg
-	if s.batchFrames < cfg.BatchFrames {
-		return
-	}
-	batch := s.pendingBatch
-	s.pendingBatch = nil
-	s.batchFrames = 0
-
+// ClaimSessionCost prices the next training session under the paper's
+// canonical batch sizes and consumes the session slot: the first claim is
+// priced as the cold session (no replay images yet), every later one at
+// full replay. Call it exactly once per session actually scheduled — a
+// price-only query would eat the cold-session discount.
+func (s *System) ClaimSessionCost(tc detect.TrainerConfig) edge.SessionCost {
 	first := s.sessionsSched == 0
 	s.sessionsSched++
-	replayVirtual := cfg.CanonicalReplay
+	replayVirtual := s.cfg.CanonicalReplay
 	if first {
 		replayVirtual = 0
 	}
-	cost := cfg.Cost.Session(cfg.Trainer, first, cfg.CanonicalBatch, replayVirtual)
-	start := math.Max(now, s.trainBusyTil)
-	end := start + cost.TotalSec()
-	s.trainBusyTil = end
-	s.sched.At(start, func(float64) { s.device.BeginTraining(end) })
-	s.sched.At(end, func(endNow float64) {
-		s.trainer.RunSession(batch)
-		s.results.Sessions++
-		s.results.SessionTimes = append(s.results.SessionTimes,
-			SessionRecord{Start: start, End: endNow, Applied: endNow})
-	})
+	return s.cfg.Cost.Session(tc, first, s.cfg.CanonicalBatch, replayVirtual)
 }
 
-// maybeTrainCloud schedules an AMS cloud-side training round and the model
-// download that follows it.
-func (s *System) maybeTrainCloud(now float64) {
-	cfg := s.cfg
-	if s.batchFrames < cfg.BatchFrames {
-		return
-	}
-	batch := s.pendingBatch
-	s.pendingBatch = nil
-	s.batchFrames = 0
+// AddSession counts one completed training session.
+func (s *System) AddSession() { s.results.Sessions++ }
 
-	first := s.sessionsSched == 0
-	s.sessionsSched++
-	replayVirtual := cfg.CanonicalReplay
-	if first {
-		replayVirtual = 0
-	}
-	cost := cfg.Cost.Session(s.amsTrainer.Config, first, cfg.CanonicalBatch, replayVirtual)
-	dur := cost.TotalSec() / cfg.AMSCloudSpeedup
-	start := math.Max(now, s.cloudTrainBusy)
-	end := start + dur
-	s.cloudTrainBusy = end
-	s.sched.At(end, func(endNow float64) {
-		s.amsTrainer.RunSession(batch)
-		s.results.Sessions++
-		bytes := netsim.ModelUpdateBytes()
-		s.usage.AddDown(bytes)
-		arrive := endNow + cfg.Downlink.TransferSeconds(bytes)
-		s.sched.At(arrive, func(applyNow float64) {
-			s.applyAMSUpdate()
-			s.results.SessionTimes = append(s.results.SessionTimes,
-				SessionRecord{Start: start, End: endNow, Applied: applyNow})
-		})
-	})
-}
-
-// applyAMSUpdate installs the streamed model on the edge, with the
-// quantization noise of AMS's compressed updates.
-func (s *System) applyAMSUpdate() {
-	s.student.CopyWeightsFrom(s.amsStudent)
-	if s.cfg.AMSQuantNoise <= 0 {
-		return
-	}
-	for _, p := range s.student.Params() {
-		rms := p.Value.Norm2() / math.Sqrt(float64(len(p.Value.Data)))
-		sigma := s.cfg.AMSQuantNoise * rms
-		for i := range p.Value.Data {
-			p.Value.Data[i] += s.rng.NormFloat64() * sigma
-		}
+// RecordSession logs a training-session record once its weights applied.
+func (s *System) RecordSession(rec SessionRecord) {
+	s.results.SessionTimes = append(s.results.SessionTimes, rec)
+	if s.obs != nil {
+		s.obs.OnTrainingSession(rec)
 	}
 }
 
-// cloudOnlyFrame handles one camera frame under the Cloud-Only strategy:
-// the full stream is uploaded, annotated results stream back, and inference
-// throughput is bounded by the synchronous round-trip pipeline.
-func (s *System) cloudOnlyFrame(f *video.Frame, t float64) {
-	cfg := s.cfg
-	up := cfg.Codec.StreamFrameBytes(f.Complexity, f.Motion)
-	down := cfg.Codec.AnnotatedFrameBytes(f.Complexity, f.Motion)
-	s.usage.AddUp(up)
-	s.usage.AddDown(down)
-
-	if t >= s.cloudFreeAt {
-		rt := cfg.Uplink.TransferSeconds(up) +
-			cfg.Labeler.TeacherLatencySec +
-			cfg.Downlink.TransferSeconds(down)
-		s.cloudFreeAt = t + rt
-		s.lastRoundTrip = rt
-		dets := s.teacher.Detections(s.teacher.Label(f))
-		s.results.FramesProcessed++
-		s.collect(f, dets)
-	}
-	effFPS := math.Min(cfg.Profile.FPS, 1/s.lastRoundTrip)
-	s.device.FPS().Record(t, effFPS)
+// RecordProcessedFrame counts one inferred frame and collects its
+// detections for metric evaluation.
+func (s *System) RecordProcessedFrame(f *video.Frame, dets []detect.Detection) {
+	s.results.FramesProcessed++
+	s.collect(f, dets)
 }
 
 // collect records one evaluated frame into the metric collector.
@@ -414,17 +411,19 @@ func (s *System) drainAlpha() float64 {
 	return m
 }
 
-// finalize assembles the Results.
-func (s *System) finalize() *Results {
+// finalize assembles the Results over the played stream time.
+func (s *System) finalize(end float64) *Results {
 	cfg := s.cfg
 	r := &s.results
 	r.Strategy = cfg.Kind.String()
 	r.Profile = cfg.Profile.Name
-	r.Duration = cfg.DurationSec
+	r.Duration = end
 	r.MAP50 = s.collector.MAP50()
 	r.AvgIoU = s.collector.AverageIoU()
-	r.UpKbps = s.usage.UpKbps(cfg.DurationSec)
-	r.DownKbps = s.usage.DownKbps(cfg.DurationSec)
+	if end > 0 {
+		r.UpKbps = s.usage.UpKbps(end)
+		r.DownKbps = s.usage.DownKbps(end)
+	}
 	r.UpBytes = s.usage.UpBytes
 	r.DownBytes = s.usage.DownBytes
 	r.AvgFPS = s.device.FPS().Average()
@@ -435,7 +434,7 @@ func (s *System) finalize() *Results {
 	return r
 }
 
-// Student exposes the deployed edge model (nil for Cloud-Only).
+// Student exposes the deployed edge model (nil for strategies without one).
 func (s *System) Student() *detect.Student { return s.student }
 
 // RunExperiment is the one-call convenience API: build a system and run it.

@@ -91,3 +91,11 @@ func NewPretrainedStudent(p *video.Profile, rng *rand.Rand) *Student {
 	Pretrain(s, set, DefaultPretrainConfig(), rng)
 	return s
 }
+
+// DefaultPretrainedStudent pretrains the offline student with the canonical
+// seed stream — deterministic in the profile seed alone, so every caller
+// (direct runs, fleet caches, experiment harnesses) deploys the identical
+// model. This is the single definition of that recipe.
+func DefaultPretrainedStudent(p *video.Profile) *Student {
+	return NewPretrainedStudent(p, rand.New(rand.NewPCG(p.Seed, 3)))
+}

@@ -3,14 +3,15 @@
 // the simulated substrate. Each generator returns a result struct with a
 // Render method that prints the measurement next to the paper's reported
 // values, and is shared by cmd/shoggoth-bench and the root bench_test.go.
+// All generators run their configs through the public shoggoth.Fleet, which
+// bounds concurrency and shares one pretrained student per profile.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"math/rand/v2"
-	"runtime"
-	"sync"
 
+	"shoggoth"
 	"shoggoth/internal/core"
 	"shoggoth/internal/detect"
 	"shoggoth/internal/video"
@@ -18,10 +19,12 @@ import (
 
 // Mode scales experiment cost. Cycles is the number of scenario-script
 // passes per run (the paper streams hours of video; two cycles are enough
-// for retention effects to show, one cycle for a quick look).
+// for retention effects to show, one cycle for a quick look). Workers
+// bounds the fleet's concurrent sessions (0 = GOMAXPROCS).
 type Mode struct {
-	Cycles float64
-	Seed   uint64
+	Cycles  float64
+	Seed    uint64
+	Workers int
 }
 
 // Quick returns the fast preset (one scenario cycle).
@@ -30,52 +33,38 @@ func Quick() Mode { return Mode{Cycles: 1, Seed: 1} }
 // Full returns the paper-scale preset (two scenario cycles).
 func Full() Mode { return Mode{Cycles: 2, Seed: 1} }
 
-// pretrainCache hands every run on a profile the identical deployed model.
-var pretrainCache sync.Map // profile name -> *detect.Student
+// sharedCache hands every run on a profile the identical deployed model,
+// across all experiments in a process.
+var sharedCache shoggoth.StudentCache
 
 // PretrainedStudent returns the cached offline-pretrained student for a
 // profile (pretraining once per profile keeps experiment suites fast).
 func PretrainedStudent(p *video.Profile) *detect.Student {
-	if v, ok := pretrainCache.Load(p.Name); ok {
-		return v.(*detect.Student)
-	}
-	s := detect.NewPretrainedStudent(p, rand.New(rand.NewPCG(p.Seed, 3)))
-	actual, _ := pretrainCache.LoadOrStore(p.Name, s)
-	return actual.(*detect.Student)
+	return sharedCache.Get(p)
+}
+
+// paperKinds returns the five Table I columns. The registry may hold more
+// strategies (that is the point of it), but the paper's artefacts always
+// compare exactly these.
+func paperKinds() []core.StrategyKind {
+	return []core.StrategyKind{core.EdgeOnly, core.CloudOnly, core.Prompt, core.AMS, core.Shoggoth}
 }
 
 // configFor builds the calibrated config for one run under a mode.
+// Pretrained is left nil: runAll's fleet injects the shared cached student,
+// which is identical to what the run would pretrain itself.
 func configFor(kind core.StrategyKind, p *video.Profile, m Mode) core.Config {
 	cfg := core.NewConfig(kind, p)
 	cfg.DurationSec = m.Cycles * p.ScriptDuration()
 	cfg.Seed = m.Seed
-	cfg.Pretrained = PretrainedStudent(p)
 	return cfg
 }
 
-// runAll executes the configs concurrently (bounded by CPU count) and
-// returns results in input order.
-func runAll(cfgs []core.Config) ([]*core.Results, error) {
-	out := make([]*core.Results, len(cfgs))
-	errs := make([]error, len(cfgs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := range cfgs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = core.RunExperiment(cfgs[i])
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+// runAll executes the configs on a fleet worker pool and returns results in
+// input order.
+func runAll(m Mode, cfgs []core.Config) ([]*core.Results, error) {
+	fleet := &shoggoth.Fleet{Workers: m.Workers, Cache: &sharedCache}
+	return fleet.Run(context.Background(), cfgs)
 }
 
 func pct(v float64) string { return fmt.Sprintf("%.1f", v*100) }

@@ -57,7 +57,7 @@ func Extra(m Mode) (*ExtraResult, error) {
 	cfgAlphaOnly := configFor(core.Shoggoth, p, m)
 	cfgAlphaOnly.Controller.EtaR = 0
 
-	results, err := runAll([]core.Config{cfgBRN, cfgBN, cfgFIFO, cfgPhiOnly, cfgAlphaOnly})
+	results, err := runAll(m, []core.Config{cfgBRN, cfgBN, cfgFIFO, cfgPhiOnly, cfgAlphaOnly})
 	if err != nil {
 		return nil, err
 	}

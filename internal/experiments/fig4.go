@@ -26,10 +26,10 @@ var paperFig4 = map[string]float64{
 func Figure4(m Mode) (*Figure4Result, error) {
 	p := video.DETRACProfile()
 	var cfgs []core.Config
-	for _, kind := range core.StrategyKinds() {
+	for _, kind := range paperKinds() {
 		cfgs = append(cfgs, configFor(kind, p, m))
 	}
-	results, err := runAll(cfgs)
+	results, err := runAll(m, cfgs)
 	if err != nil {
 		return nil, err
 	}

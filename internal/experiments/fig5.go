@@ -31,11 +31,11 @@ func Figure5(m Mode, t1 *Table1Result) (*Figure5Result, error) {
 	if len(runs) == 0 {
 		p := video.DETRACProfile()
 		var cfgs []core.Config
-		for _, kind := range core.StrategyKinds() {
+		for _, kind := range paperKinds() {
 			cfgs = append(cfgs, configFor(kind, p, m))
 		}
 		var err error
-		runs, err = runAll(cfgs)
+		runs, err = runAll(m, cfgs)
 		if err != nil {
 			return nil, err
 		}

@@ -50,17 +50,17 @@ func Table1(m Mode) (*Table1Result, error) {
 	profiles := video.StockProfiles()
 	var cfgs []core.Config
 	for _, p := range profiles {
-		for _, kind := range core.StrategyKinds() {
+		for _, kind := range paperKinds() {
 			cfgs = append(cfgs, configFor(kind, p, m))
 		}
 	}
-	results, err := runAll(cfgs)
+	results, err := runAll(m, cfgs)
 	if err != nil {
 		return nil, err
 	}
 	i := 0
 	for range profiles {
-		for range core.StrategyKinds() {
+		for range paperKinds() {
 			r := results[i]
 			res.Rows = append(res.Rows, Table1Row{
 				Profile:  r.Profile,

@@ -67,7 +67,7 @@ func Table2(m Mode) (*Table2Result, error) {
 		v.Mutate(&cfg.Trainer)
 		cfgs = append(cfgs, cfg)
 	}
-	results, err := runAll(cfgs)
+	results, err := runAll(m, cfgs)
 	if err != nil {
 		return nil, err
 	}

@@ -42,7 +42,7 @@ func Table3(m Mode) (*Table3Result, error) {
 		cfgs = append(cfgs, cfg)
 	}
 	cfgs = append(cfgs, configFor(core.Shoggoth, p, m)) // adaptive
-	results, err := runAll(cfgs)
+	results, err := runAll(m, cfgs)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,13 @@ type Collector struct {
 	gts  []GT
 	// frame -> stream time, for window bucketing
 	frameTime map[int]float64
+
+	// Cursors keep streaming WindowMAP50At queries linear overall: frames
+	// arrive in nondecreasing time, so successive windows only ever skip
+	// forward. An out-of-order start resets them.
+	winStart float64
+	winGT    int
+	winDet   int
 }
 
 // NewCollector creates an empty collector.
@@ -34,8 +41,40 @@ func (c *Collector) AverageIoU() float64 { return AverageIoU(c.dets, c.gts) }
 
 // WindowScore is the mAP of one time window.
 type WindowScore struct {
-	Start float64 // window start time (seconds)
-	MAP   float64
+	Start float64 `json:"start"` // window start time (seconds)
+	MAP   float64 `json:"map"`
+}
+
+// WindowMAP50At computes mAP@0.5 over the frames recorded in
+// [start, start+windowSec). ok reports whether the window held any ground
+// truth (windows without it are skipped by WindowedMAP50 too), so streaming
+// observers see exactly the windows the final Results will contain.
+// Successive calls with nondecreasing starts — the streaming pattern — scan
+// each recorded region once in total.
+func (c *Collector) WindowMAP50At(start, windowSec float64) (map50 float64, ok bool) {
+	if start < c.winStart {
+		c.winGT, c.winDet = 0, 0
+	}
+	c.winStart = start
+	end := start + windowSec
+	for c.winGT < len(c.gts) && c.frameTime[c.gts[c.winGT].Frame] < start {
+		c.winGT++
+	}
+	for c.winDet < len(c.dets) && c.frameTime[c.dets[c.winDet].Frame] < start {
+		c.winDet++
+	}
+	var gts []GT
+	for i := c.winGT; i < len(c.gts) && c.frameTime[c.gts[i].Frame] < end; i++ {
+		gts = append(gts, c.gts[i])
+	}
+	if len(gts) == 0 {
+		return 0, false
+	}
+	var dets []Det
+	for i := c.winDet; i < len(c.dets) && c.frameTime[c.dets[i].Frame] < end; i++ {
+		dets = append(dets, c.dets[i])
+	}
+	return MAP50(dets, gts), true
 }
 
 // WindowedMAP50 buckets frames into windows of windowSec stream seconds and

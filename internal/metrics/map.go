@@ -28,15 +28,22 @@ type GT struct {
 // all-point interpolated AP, averaged over classes that have at least one
 // ground-truth instance.
 func MAP(dets []Det, gts []GT, iouThresh float64) float64 {
-	classes := map[int]bool{}
+	seen := map[int]bool{}
+	var classes []int
 	for _, g := range gts {
-		classes[g.Class] = true
+		if !seen[g.Class] {
+			seen[g.Class] = true
+			classes = append(classes, g.Class)
+		}
 	}
 	if len(classes) == 0 {
 		return 0
 	}
+	// Summation order must be stable (float addition is not associative):
+	// identical runs must produce bit-identical mAP.
+	sort.Ints(classes)
 	var sum float64
-	for c := range classes {
+	for _, c := range classes {
 		sum += apForClass(dets, gts, c, iouThresh)
 	}
 	return sum / float64(len(classes))

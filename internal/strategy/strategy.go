@@ -1,12 +1,11 @@
-// Package strategy names, describes and configures the five strategies of
-// the paper's evaluation, providing the preset factory used by the CLI
-// tools, the experiment harness and the examples.
+// Package strategy names, describes and configures the registered
+// strategies (the paper's five plus anything added via core.Register),
+// providing the preset factory used by the CLI tools, the experiment
+// harness and the examples. It is a thin veneer over core's name-keyed
+// strategy registry: nothing here enumerates strategies by hand.
 package strategy
 
 import (
-	"fmt"
-	"strings"
-
 	"shoggoth/internal/core"
 	"shoggoth/internal/video"
 )
@@ -18,33 +17,21 @@ type Descriptor struct {
 	Summary string
 }
 
-// All returns the strategies in the paper's column order.
+// All returns every registered strategy in registration order (the paper's
+// column order for the stock five).
 func All() []Descriptor {
-	return []Descriptor{
-		{core.EdgeOnly, "Edge-Only", "offline-trained student on the edge, no adaptation, no network"},
-		{core.CloudOnly, "Cloud-Only", "every frame inferred by the cloud golden model; maximum accuracy, maximum bandwidth, low FPS"},
-		{core.Prompt, "Prompt", "Shoggoth without adaptive sampling: fixed 2 fps uploads, prompt regular retraining"},
-		{core.AMS, "AMS", "adaptive model streaming: cloud-side fine-tuning, model updates streamed down"},
-		{core.Shoggoth, "Shoggoth", "decoupled distillation: cloud labels, edge latent-replay training, adaptive sampling"},
+	descs := core.Descriptors()
+	out := make([]Descriptor, len(descs))
+	for i, d := range descs {
+		out[i] = Descriptor{Kind: core.StrategyKind(i), Name: d.Name, Summary: d.Summary}
 	}
+	return out
 }
 
-// Parse resolves a strategy name (case-insensitive, with common aliases).
+// Parse resolves a strategy name (case-insensitive, with the registered
+// aliases).
 func Parse(name string) (core.StrategyKind, error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "edge-only", "edgeonly", "edge":
-		return core.EdgeOnly, nil
-	case "cloud-only", "cloudonly", "cloud":
-		return core.CloudOnly, nil
-	case "prompt":
-		return core.Prompt, nil
-	case "ams":
-		return core.AMS, nil
-	case "shoggoth":
-		return core.Shoggoth, nil
-	default:
-		return 0, fmt.Errorf("strategy: unknown strategy %q (want edge-only, cloud-only, prompt, ams or shoggoth)", name)
-	}
+	return core.ParseStrategy(name)
 }
 
 // Option mutates a Config preset.

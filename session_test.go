@@ -1,0 +1,142 @@
+package shoggoth_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"shoggoth"
+)
+
+var (
+	detracOnce sync.Once
+	detracPre  *shoggoth.Config // template with a shared pretrained student
+)
+
+// testConfig returns a short-run config with a cached pretrained student so
+// the suite pretrains once.
+func testConfig(t *testing.T, kind shoggoth.StrategyKind, duration float64) shoggoth.Config {
+	t.Helper()
+	p, err := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detracOnce.Do(func() {
+		cfg := shoggoth.NewConfig(shoggoth.EdgeOnly, p)
+		cfg.Pretrained = shoggoth.PretrainedStudent(p)
+		detracPre = &cfg
+	})
+	cfg := shoggoth.NewConfig(kind, p, shoggoth.WithDuration(duration))
+	cfg.Pretrained = detracPre.Pretrained
+	return cfg
+}
+
+// TestRunMatchesSessionForEveryStockStrategy is the API-redesign identity
+// contract: the legacy blocking Run and the streaming Session (with an
+// observer attached) must produce identical Results for the same
+// (profile, strategy, seed).
+func TestRunMatchesSessionForEveryStockStrategy(t *testing.T) {
+	for _, kind := range []shoggoth.StrategyKind{
+		shoggoth.EdgeOnly, shoggoth.CloudOnly, shoggoth.Prompt, shoggoth.AMS, shoggoth.Shoggoth,
+	} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := testConfig(t, kind, 90)
+
+			legacy, err := shoggoth.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sess, err := shoggoth.NewSession(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var windows []shoggoth.WindowScore
+			var rates, sessions int
+			sess.Observe(&shoggoth.ObserverFuncs{
+				WindowMAP:       func(w shoggoth.WindowScore) { windows = append(windows, w) },
+				RateCommand:     func(shoggoth.RatePoint) { rates++ },
+				TrainingSession: func(shoggoth.SessionRecord) { sessions++ },
+			})
+			streamed, err := sess.RunContext(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(legacy, streamed) {
+				t.Fatalf("Run and Session diverged for %s:\n run: %+v\nsess: %+v", kind, legacy, streamed)
+			}
+			if !reflect.DeepEqual(windows, streamed.WindowMAPs) {
+				t.Fatalf("streamed windows diverge from results:\nobs: %v\nres: %v", windows, streamed.WindowMAPs)
+			}
+			if rates != len(streamed.RateSeries) {
+				t.Fatalf("observer saw %d rate commands, results hold %d", rates, len(streamed.RateSeries))
+			}
+			if sessions != len(streamed.SessionTimes) {
+				t.Fatalf("observer saw %d training sessions, results hold %d", sessions, len(streamed.SessionTimes))
+			}
+		})
+	}
+}
+
+func TestSessionStepAndResultsIdempotent(t *testing.T) {
+	cfg := testConfig(t, shoggoth.EdgeOnly, 20)
+	sess, err := shoggoth.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 1 // the final Step returns false after processing its frame
+	for sess.Step() {
+		steps++
+	}
+	if want := int(20 * cfg.Profile.FPS); steps != want {
+		t.Fatalf("stepped %d frames, want %d", steps, want)
+	}
+	a := sess.Results()
+	if sess.Step() {
+		t.Fatal("Step after Results must report no frames remain")
+	}
+	if b := sess.Results(); b != a {
+		t.Fatal("Results must be idempotent")
+	}
+	if a.FramesTotal != steps {
+		t.Fatalf("results count %d frames, stepped %d", a.FramesTotal, steps)
+	}
+}
+
+func TestPartialSessionSettlesAtElapsedTime(t *testing.T) {
+	cfg := testConfig(t, shoggoth.CloudOnly, 60)
+	sess, err := shoggoth.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := int(30 * cfg.Profile.FPS)
+	for i := 0; i < half && sess.Step(); i++ {
+	}
+	res := sess.Results()
+	if res.Duration > 30.1 || res.Duration < 29.9 {
+		t.Fatalf("truncated run should settle at ~30s elapsed, got %v", res.Duration)
+	}
+	// Bandwidth rates must be over the elapsed time, not the configured 60s.
+	full, err := shoggoth.Run(testConfig(t, shoggoth.CloudOnly, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpKbps < full.UpKbps*0.9 || res.UpKbps > full.UpKbps*1.1 {
+		t.Fatalf("truncated-run uplink %v should match a 30s run's %v", res.UpKbps, full.UpKbps)
+	}
+}
+
+func TestSessionRunContextCancellation(t *testing.T) {
+	cfg := testConfig(t, shoggoth.EdgeOnly, 60)
+	sess, err := shoggoth.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.RunContext(ctx); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -18,12 +18,19 @@
 //	cfg.DurationSec = 720
 //	results, err := shoggoth.Run(cfg)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every table and figure.
+// Beyond the blocking Run there is a streaming Session (frame-stepped, with
+// Observer hooks and context cancellation), a Fleet that runs many
+// (profile, strategy, seed) sessions on a bounded worker pool, and a
+// strategy registry (RegisterStrategy) that lets new strategies plug into
+// the deployment loop without touching it. See DESIGN.md for the system
+// inventory and the Strategy/Session/Fleet API; cmd/shoggoth-bench
+// regenerates the paper-vs-measured record of every table and figure.
 package shoggoth
 
 import (
 	"shoggoth/internal/core"
+	"shoggoth/internal/detect"
+	"shoggoth/internal/metrics"
 	"shoggoth/internal/strategy"
 	"shoggoth/internal/video"
 )
@@ -46,7 +53,8 @@ const (
 
 // Re-exported types of the public API.
 type (
-	// StrategyKind selects one of the five evaluated strategies.
+	// StrategyKind selects one registered strategy (stock: the five
+	// evaluated in the paper).
 	StrategyKind = core.StrategyKind
 	// Config fully describes one experiment run.
 	Config = core.Config
@@ -56,6 +64,32 @@ type (
 	Profile = video.Profile
 	// Option mutates a Config preset.
 	Option = strategy.Option
+
+	// Strategy is the pluggable per-run behaviour dispatched by the
+	// deployment loop; implement it and RegisterStrategy to add a sixth
+	// (seventh, …) strategy with zero core edits.
+	Strategy = core.Strategy
+	// BaseStrategy is an embeddable no-op Strategy hook set.
+	BaseStrategy = core.BaseStrategy
+	// StrategyInfo registers one strategy: name, aliases, traits, factory.
+	StrategyInfo = core.Descriptor
+	// Traits declare the substrate behaviour around a strategy's hooks.
+	Traits = core.Traits
+	// System is one running deployment, handed to Strategy.Init.
+	System = core.System
+	// Frame is one camera frame of a drifting stream.
+	Frame = video.Frame
+	// TeacherLabel is one cloud-labeled region (Strategy.OnCloudBatch).
+	TeacherLabel = detect.TeacherLabel
+	// LabeledRegion is one training sample (Strategy.OnTrainDue).
+	LabeledRegion = detect.LabeledRegion
+
+	// SessionRecord logs one adaptive-training session.
+	SessionRecord = core.SessionRecord
+	// RatePoint is one sampling-rate command over time.
+	RatePoint = core.RatePoint
+	// WindowScore is the mAP of one time window.
+	WindowScore = metrics.WindowScore
 )
 
 // ProfileByName returns a stock dataset profile (ProfileDETRAC,
@@ -65,11 +99,18 @@ func ProfileByName(name string) (*Profile, error) { return video.ProfileByName(n
 // Profiles returns the three stock dataset profiles in paper order.
 func Profiles() []*Profile { return video.StockProfiles() }
 
-// StrategyKinds returns all strategies in the paper's column order.
+// StrategyKinds returns every registered strategy in registration order
+// (the paper's column order for the stock five).
 func StrategyKinds() []StrategyKind { return core.StrategyKinds() }
 
-// ParseStrategy resolves a strategy name such as "shoggoth" or "edge-only".
+// ParseStrategy resolves a strategy name such as "shoggoth" or "edge-only"
+// (case-insensitive, including registered aliases).
 func ParseStrategy(name string) (StrategyKind, error) { return strategy.Parse(name) }
+
+// RegisterStrategy adds a strategy to the registry and returns its assigned
+// kind; registered strategies configure, parse and run exactly like the
+// stock five.
+func RegisterStrategy(info StrategyInfo) (StrategyKind, error) { return core.Register(info) }
 
 // NewConfig returns the calibrated default configuration for a strategy on
 // a profile.
@@ -77,8 +118,25 @@ func NewConfig(kind StrategyKind, p *Profile, opts ...Option) Config {
 	return strategy.Configure(kind, p, opts...)
 }
 
-// Run executes one experiment.
-func Run(cfg Config) (*Results, error) { return core.RunExperiment(cfg) }
+// Run executes one experiment to completion. It is a thin wrapper over a
+// Session and returns identical Results for the same Config.
+func Run(cfg Config) (*Results, error) {
+	sess, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for sess.Step() {
+	}
+	return sess.Results(), nil
+}
+
+// PretrainedStudent pretrains the offline student for a profile
+// (deterministic in the profile seed). Hand it to Config.Pretrained to
+// share one model across runs; Fleet does this automatically through its
+// StudentCache.
+func PretrainedStudent(p *Profile) *detect.Student {
+	return detect.DefaultPretrainedStudent(p)
+}
 
 // Options for NewConfig.
 var (

@@ -1,0 +1,173 @@
+package shoggoth_test
+
+// The pluggability proof for the Strategy registry: a sixth strategy,
+// defined entirely outside internal/core, registers and runs end-to-end —
+// configuration, parsing, Session, Fleet — with zero edits inside the
+// deployment loop.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"shoggoth"
+)
+
+// tortoiseStrategy is a deliberately lazy sixth strategy: it runs the edge
+// student on every frame but only samples for upload during the second half
+// of the stream.
+type tortoiseStrategy struct {
+	shoggoth.BaseStrategy
+	frames int
+}
+
+func (st *tortoiseStrategy) OnFrame(f *shoggoth.Frame, t, dt float64) {
+	st.frames++
+	st.Sys.InferFrame(f, t, dt)
+	if t >= st.Sys.Config().DurationSec/2 {
+		st.Sys.SampleForUpload(f, t)
+	}
+}
+
+func (st *tortoiseStrategy) OnCloudBatch(frames []*shoggoth.Frame, labels [][]shoggoth.TeacherLabel, done float64) {
+	st.Sys.DepositLabels(frames, labels, done)
+}
+
+var (
+	tortoiseOnce sync.Once
+	tortoiseKind shoggoth.StrategyKind
+	tortoiseErr  error
+)
+
+func registerTortoise() (shoggoth.StrategyKind, error) {
+	tortoiseOnce.Do(func() {
+		tortoiseKind, tortoiseErr = shoggoth.RegisterStrategy(shoggoth.StrategyInfo{
+			Name:    "Tortoise",
+			Aliases: []string{"toy"},
+			Summary: "test-only sixth strategy: edge inference, late uploads",
+			Traits:  shoggoth.Traits{Student: true, Uploads: true, Adaptive: true},
+			New:     func() shoggoth.Strategy { return &tortoiseStrategy{} },
+		})
+	})
+	return tortoiseKind, tortoiseErr
+}
+
+func TestSixthStrategyRegistersAndRuns(t *testing.T) {
+	kind, err := registerTortoise()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The registry round-trips the new strategy like any stock one.
+	if got, err := shoggoth.ParseStrategy("tortoise"); err != nil || got != kind {
+		t.Fatalf("ParseStrategy(tortoise) = %v, %v; want %v", got, err, kind)
+	}
+	if got, err := shoggoth.ParseStrategy("TOY"); err != nil || got != kind {
+		t.Fatalf("alias parse = %v, %v; want %v", got, err, kind)
+	}
+	found := false
+	for _, k := range shoggoth.StrategyKinds() {
+		found = found || k == kind
+	}
+	if !found {
+		t.Fatal("StrategyKinds must list the registered strategy")
+	}
+
+	// …and it runs end-to-end through the standard entry points.
+	cfg := testConfig(t, kind, 120)
+	res, err := shoggoth.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "Tortoise" {
+		t.Fatalf("results name the strategy %q", res.Strategy)
+	}
+	if res.FramesProcessed == 0 || res.MAP50 <= 0 {
+		t.Fatalf("tortoise should infer frames: %+v", res)
+	}
+	if res.SampledFrames == 0 || res.UpBytes == 0 {
+		t.Fatal("tortoise should sample and upload in the second half")
+	}
+	if len(res.RateSeries) == 0 {
+		t.Fatal("adaptive trait should wire the controller")
+	}
+
+	// Determinism contract holds for registered strategies too.
+	again, err := shoggoth.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MAP50 != again.MAP50 || res.UpBytes != again.UpBytes {
+		t.Fatalf("registered strategy must be deterministic: %v vs %v", res, again)
+	}
+}
+
+func TestFleetRunsGridIdenticalToSerialRuns(t *testing.T) {
+	p, err := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []shoggoth.StrategyKind{shoggoth.EdgeOnly, shoggoth.CloudOnly, shoggoth.Prompt}
+	cfgs := shoggoth.Grid([]*shoggoth.Profile{p}, kinds, shoggoth.WithDuration(45), shoggoth.WithSeed(3))
+
+	fleet := &shoggoth.Fleet{Workers: 2}
+	got, err := fleet.Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cfgs) {
+		t.Fatalf("want %d results, got %d", len(cfgs), len(got))
+	}
+	for i, kind := range kinds {
+		cfg := cfgs[i]
+		cfg.Pretrained = fleet.Pretrained(p) // what the fleet auto-filled
+		want, err := shoggoth.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Strategy != kind.String() {
+			t.Fatalf("result %d out of order: %q", i, got[i].Strategy)
+		}
+		if got[i].MAP50 != want.MAP50 || got[i].UpBytes != want.UpBytes || got[i].Sessions != want.Sessions {
+			t.Fatalf("fleet diverged from serial run for %s:\nfleet:  %v\nserial: %v", kind, got[i], want)
+		}
+	}
+}
+
+func TestFleetSharesOnePretrainedStudentPerProfile(t *testing.T) {
+	p, err := shoggoth.ProfileByName(shoggoth.ProfileKITTI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := &shoggoth.Fleet{}
+	if fleet.Pretrained(p) != fleet.Pretrained(p) {
+		t.Fatal("fleet cache must pretrain once per profile")
+	}
+	var shared shoggoth.StudentCache
+	a := &shoggoth.Fleet{Cache: &shared}
+	b := &shoggoth.Fleet{Cache: &shared}
+	if a.Pretrained(p) != b.Pretrained(p) {
+		t.Fatal("fleets sharing a cache must share students")
+	}
+}
+
+func TestFleetPropagatesErrorsAndCancellation(t *testing.T) {
+	p, err := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := shoggoth.NewConfig(shoggoth.EdgeOnly, p)
+	bad.DurationSec = -1
+	fleet := &shoggoth.Fleet{}
+	if _, err := fleet.Run(context.Background(), []shoggoth.Config{bad}); err == nil {
+		t.Fatal("invalid config must surface as a fleet error")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := shoggoth.Grid([]*shoggoth.Profile{p},
+		[]shoggoth.StrategyKind{shoggoth.EdgeOnly}, shoggoth.WithDuration(30))
+	if _, err := fleet.Run(ctx, cfgs); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
