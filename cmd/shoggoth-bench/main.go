@@ -6,6 +6,7 @@
 //	shoggoth-bench                 # all experiments, quick mode (1 cycle)
 //	shoggoth-bench -full           # paper-scale mode (2 cycles)
 //	shoggoth-bench -exp table3     # one experiment: table1 fig4 table2 table3 fig5 extra
+//	shoggoth-bench -perf           # compute-core perf mode: refresh BENCH_core.json
 package main
 
 import (
@@ -26,7 +27,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig4, table2, table3, fig5, extra or all")
 	seed := flag.Uint64("seed", 1, "run seed")
 	workers := flag.Int("workers", 0, "concurrent sessions per experiment (0 = GOMAXPROCS)")
+	perf := flag.Bool("perf", false, "measure the compute-core hot paths (train step, inference) instead of the paper experiments")
+	perfOut := flag.String("perf-out", "BENCH_core.json", "perf mode: output file (baseline entries are preserved)")
 	flag.Parse()
+
+	if *perf {
+		if err := runPerf(*perfOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	mode := experiments.Quick()
 	if *full {

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"testing"
+
+	"shoggoth/internal/detect"
+	"shoggoth/internal/video"
+)
+
+// PerfRecord is one measurement of the compute core's hot paths.
+type PerfRecord struct {
+	// Label describes the code state and machine the record was taken on.
+	Label string `json:"label"`
+
+	TrainNsPerStep        float64 `json:"train_ns_per_step"`
+	TrainStepsPerSec      float64 `json:"train_steps_per_sec"`
+	TrainAllocsPerSession int64   `json:"train_allocs_per_session"`
+	TrainBytesPerSession  int64   `json:"train_bytes_per_session"`
+
+	InferNsPerFrame   float64 `json:"infer_ns_per_frame"`
+	InferFramesPerSec float64 `json:"infer_frames_per_sec"`
+	InferAllocsPerOp  int64   `json:"infer_allocs_per_frame"`
+}
+
+// PerfFile is the on-disk schema of BENCH_core.json: the frozen pre-refactor
+// baseline plus the most recent measurement, so every future PR has a perf
+// trajectory to compare against.
+type PerfFile struct {
+	Schema   int         `json:"schema"`
+	Note     string      `json:"note"`
+	Baseline *PerfRecord `json:"baseline,omitempty"`
+	Current  *PerfRecord `json:"current,omitempty"`
+
+	SpeedupTrainNsPerStep float64 `json:"speedup_train_ns_per_step,omitempty"`
+	SpeedupInferNsPerOp   float64 `json:"speedup_infer_ns_per_frame,omitempty"`
+	AllocReductionTrain   float64 `json:"alloc_reduction_train,omitempty"`
+}
+
+// measurePerf benchmarks the steady-state adaptive-training step and
+// single-frame inference at the paper's configuration (8 epochs, 64-sample
+// mini-batches, warm 1500-sample replay memory on the UA-DETRAC profile).
+func measurePerf(label string) PerfRecord {
+	p := video.DETRACProfile()
+	rng := rand.New(rand.NewPCG(7, 8))
+	student := detect.NewStudent(p.FeatureDim(), p.NumClasses(), rng)
+	cfg := detect.DefaultTrainerConfig()
+	tr := detect.NewTrainer(student, cfg, rand.New(rand.NewPCG(9, 10)))
+	for i := 0; i < 4; i++ {
+		tr.RunSession(perfBatch(p, 300, rng))
+	}
+	batch := perfBatch(p, 64, rng)
+	stepsPerSession := tr.RunSession(batch).Steps
+
+	rec := PerfRecord{Label: label}
+	train := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.RunSession(batch)
+		}
+	})
+	if stepsPerSession > 0 {
+		rec.TrainNsPerStep = float64(train.NsPerOp()) / float64(stepsPerSession)
+		if rec.TrainNsPerStep > 0 {
+			rec.TrainStepsPerSec = 1e9 / rec.TrainNsPerStep
+		}
+	}
+	rec.TrainAllocsPerSession = train.AllocsPerOp()
+	rec.TrainBytesPerSession = train.AllocedBytesPerOp()
+
+	stream := video.NewStream(p, 1)
+	frame := stream.Next()
+	student.Infer(frame)
+	infer := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			student.Infer(frame)
+		}
+	})
+	rec.InferNsPerFrame = float64(infer.NsPerOp())
+	if rec.InferNsPerFrame > 0 {
+		rec.InferFramesPerSec = 1e9 / rec.InferNsPerFrame
+	}
+	rec.InferAllocsPerOp = infer.AllocsPerOp()
+	return rec
+}
+
+// perfBatch synthesises labeled regions from the profile's pretrain
+// distribution, mirroring the fixture of the BenchmarkStep tests.
+func perfBatch(p *video.Profile, n int, rng *rand.Rand) []detect.LabeledRegion {
+	set := video.GeneratePretrainSet(p, n, rng)
+	out := make([]detect.LabeledRegion, len(set))
+	for i, smp := range set {
+		out[i] = detect.LabeledRegion{
+			Features: smp.Features,
+			Class:    smp.Class,
+			Offset:   smp.Offset,
+			HasBox:   smp.HasBox,
+		}
+	}
+	return out
+}
+
+// runPerf refreshes the "current" record of BENCH_core.json, preserving the
+// frozen pre-refactor baseline, and prints a one-screen summary.
+func runPerf(path string) error {
+	var file PerfFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("parse existing %s: %w", path, err)
+		}
+	}
+	if file.Schema == 0 {
+		file.Schema = 1
+	}
+	if file.Note == "" {
+		file.Note = "Compute-core perf trajectory. 'baseline' is the frozen pre-workspace-refactor " +
+			"measurement; refresh 'current' with: shoggoth-bench -perf. Paper config: 8 epochs, " +
+			"64-sample mini-batches, warm 1500-sample replay memory, UA-DETRAC profile."
+	}
+
+	rec := measurePerf("workspace-buffered compute core")
+	file.Current = &rec
+	if b := file.Baseline; b != nil {
+		if rec.TrainNsPerStep > 0 {
+			file.SpeedupTrainNsPerStep = round2(b.TrainNsPerStep / rec.TrainNsPerStep)
+		}
+		if rec.InferNsPerFrame > 0 {
+			file.SpeedupInferNsPerOp = round2(b.InferNsPerFrame / rec.InferNsPerFrame)
+		}
+		if rec.TrainAllocsPerSession > 0 {
+			file.AllocReductionTrain = round2(float64(b.TrainAllocsPerSession) / float64(rec.TrainAllocsPerSession))
+		}
+	}
+
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("perf: train %.0f ns/step (%.0f steps/s), %d allocs/session, %d B/session\n",
+		rec.TrainNsPerStep, rec.TrainStepsPerSec, rec.TrainAllocsPerSession, rec.TrainBytesPerSession)
+	fmt.Printf("perf: infer %.0f ns/frame (%.0f frames/s), %d allocs/frame\n",
+		rec.InferNsPerFrame, rec.InferFramesPerSec, rec.InferAllocsPerOp)
+	if file.Baseline != nil {
+		fmt.Printf("perf: vs baseline — train %.2fx ns/step, infer %.2fx ns/frame, %.0fx fewer train allocs\n",
+			file.SpeedupTrainNsPerStep, file.SpeedupInferNsPerOp, file.AllocReductionTrain)
+	}
+	fmt.Printf("perf: wrote %s\n", path)
+	return nil
+}
+
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}

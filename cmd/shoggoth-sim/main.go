@@ -32,6 +32,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "fixed sampling rate in fps (0 = strategy default)")
 	workers := flag.Int("workers", 0, "concurrent sessions for -strategy all (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
+	verbose := flag.Bool("v", false, "print a wall-clock perf summary from the per-session workspace counters")
 	flag.Parse()
 
 	profile, err := shoggoth.ProfileByName(*profileName)
@@ -56,9 +57,20 @@ func main() {
 	// The fleet bounds concurrency and pretrains one student per profile,
 	// so every strategy deploys the identical model.
 	fleet := &shoggoth.Fleet{Workers: *workers}
+	if *verbose {
+		fleet.Perf = &shoggoth.PerfCounters{}
+	}
 	all, err := fleet.Run(context.Background(), cfgs)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *verbose {
+		// Diagnostics only: the counters are workspace state and never feed
+		// back into Results.
+		pc := fleet.Perf
+		fmt.Fprintf(os.Stderr,
+			"perf: %d frames inferred at %.0f frames/s wall, %d train steps at %.0f steps/s wall (%d sessions)\n",
+			pc.InferFrames, pc.InferFPS(), pc.TrainSteps, pc.TrainStepsPerSec(), pc.TrainSessions)
 	}
 
 	if *asJSON {

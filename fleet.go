@@ -67,8 +67,14 @@ type Fleet struct {
 	// Cache, when set, shares pretrained students across fleets; nil uses
 	// a fleet-private cache.
 	Cache *StudentCache
+	// Perf, when set, accumulates every completed session's workspace
+	// counters (inference and training wall-clock throughput). Sessions
+	// never share scratch — each owns a private workspace — so this is
+	// pure post-hoc aggregation and never perturbs Results.
+	Perf *PerfCounters
 
-	own StudentCache
+	own    StudentCache
+	perfMu sync.Mutex
 }
 
 // cache returns the effective student cache.
@@ -151,6 +157,12 @@ func (f *Fleet) RunJobs(ctx context.Context, jobs []Job) ([]*Results, error) {
 			out[i], errs[i] = sess.RunContext(ctx)
 			if errs[i] != nil {
 				cancel()
+				return
+			}
+			if f.Perf != nil {
+				f.perfMu.Lock()
+				f.Perf.Add(sess.System().Workspace().Perf)
+				f.perfMu.Unlock()
 			}
 		}(i)
 	}

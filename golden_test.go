@@ -1,0 +1,73 @@
+package shoggoth_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"shoggoth"
+)
+
+// goldenResults runs the five stock strategies on UA-DETRAC in quick mode
+// (one scenario cycle, seed 1) and returns the indented Results JSON — the
+// exact bytes `shoggoth-sim -strategy all -cycles 1 -json` prints.
+func goldenResults(t *testing.T) []byte {
+	t.Helper()
+	profile, err := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := shoggoth.Grid([]*shoggoth.Profile{profile}, shoggoth.StrategyKinds(),
+		shoggoth.WithSeed(1), shoggoth.WithCycles(1))
+	fleet := &shoggoth.Fleet{}
+	all, err := fleet.Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(all); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenResultsByteIdentical locks the compute core's bit-identical
+// guarantee end to end: the all-strategy quick-mode Results JSON must be
+// byte-for-byte reproducible run-to-run, and must match the golden file
+// captured before the workspace refactor (testdata/golden_results.json). Any
+// change to float64 op order, RNG consumption or result assembly shows up
+// here as a diff.
+//
+// The committed golden bytes were produced on amd64. Go permits fused
+// multiply-add on other architectures, which legally changes low-order bits,
+// so the file comparison is amd64-only; the run-to-run comparison holds
+// everywhere.
+func TestGoldenResultsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode deployment run is seconds-long; skipped with -short")
+	}
+	first := goldenResults(t)
+	second := goldenResults(t)
+	if !bytes.Equal(first, second) {
+		t.Fatal("two identical Run configurations produced different Results JSON")
+	}
+
+	golden, err := os.ReadFile("testdata/golden_results.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOARCH != "amd64" {
+		t.Logf("skipping golden-file byte comparison on %s (FMA contraction differs)", runtime.GOARCH)
+		return
+	}
+	if !bytes.Equal(first, golden) {
+		t.Fatal("Results JSON diverged from the pre-refactor golden capture; " +
+			"the bit-identical guarantee is broken (or an intentional result change " +
+			"needs a regenerated testdata/golden_results.json with a justification)")
+	}
+}

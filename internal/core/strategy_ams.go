@@ -26,6 +26,8 @@ func (st *amsStrategy) Init(sys *System) error {
 	tc := sys.Config().Trainer
 	tc.Placement = detect.PlacementInput
 	st.trainer = detect.NewTrainer(st.student, tc, sys.SeededRNG(5))
+	ws := sys.Workspace()
+	st.trainer.AttachWorkspace(ws.Pool, ws.Perf)
 	return nil
 }
 

@@ -22,6 +22,8 @@ type edgeTrainStrategy struct {
 func (st *edgeTrainStrategy) Init(sys *System) error {
 	st.Sys = sys
 	st.trainer = detect.NewTrainer(sys.Student(), sys.Config().Trainer, sys.SeededRNG(4))
+	ws := sys.Workspace()
+	st.trainer.AttachWorkspace(ws.Pool, ws.Perf)
 	return nil
 }
 

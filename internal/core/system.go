@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand/v2"
+	"time"
 
 	"shoggoth/internal/cloud"
 	"shoggoth/internal/detect"
@@ -48,6 +49,8 @@ type System struct {
 	batchFrames   int
 	sessionsSched int
 
+	ws *Workspace
+
 	obs           Observer
 	nextWindowEnd float64
 
@@ -77,6 +80,7 @@ func NewSystem(cfg Config) (*System, error) {
 		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x51057E)),
 		sched:     sim.NewScheduler(),
 		collector: metrics.NewCollector(),
+		ws:        newWorkspace(),
 	}
 	s.stream = video.NewStream(cfg.Profile, cfg.Seed)
 	// The teacher is seeded from the run seed only, so every strategy on
@@ -194,6 +198,11 @@ func (s *System) Usage() *netsim.Usage { return &s.usage }
 // injection; consumption order is part of a run's determinism contract).
 func (s *System) RNG() *rand.Rand { return s.rng }
 
+// Workspace returns the session's compute workspace (scratch pool and perf
+// counters). Strategies thread it into their trainers so all of a session's
+// hot-path scratch shares one owner and sessions never share buffers.
+func (s *System) Workspace() *Workspace { return s.ws }
+
 // SeededRNG derives an independent RNG from the run seed and a stream id,
 // so per-strategy components get stable, collision-free randomness.
 func (s *System) SeededRNG(stream uint64) *rand.Rand {
@@ -206,7 +215,10 @@ func (s *System) InferFrame(f *video.Frame, t, dt float64) {
 	if !s.device.Tick(t, dt) {
 		return
 	}
+	started := time.Now()
 	res := s.student.Infer(f)
+	s.ws.Perf.InferFrames++
+	s.ws.Perf.InferSeconds += time.Since(started).Seconds()
 	s.RecordProcessedFrame(f, res.Detections)
 	for _, c := range res.Confidences {
 		acc := 0.0

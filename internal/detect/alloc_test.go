@@ -1,0 +1,70 @@
+package detect
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"shoggoth/internal/video"
+)
+
+// TestTrainerStepZeroAlloc is the acceptance guard for the workspace
+// refactor: a steady-state adaptive-training session without replay-memory
+// writes performs zero heap allocations — every mini-batch buffer, layer
+// scratch, loss gradient and permutation is pinned. (With a replay memory,
+// the only allocations left are the activation copies handed to the memory,
+// guarded separately below.)
+func TestTrainerStepZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	p := video.DETRACProfile()
+	s := NewStudent(p.FeatureDim(), p.NumClasses(), rng)
+	cfg := DefaultTrainerConfig()
+	cfg.Epochs = 1
+	cfg.NoReplay = true // memory writes are the one by-design allocation source
+	tr := NewTrainer(s, cfg, rand.New(rand.NewPCG(33, 34)))
+	batch := benchBatch(p, 64, rng)
+
+	tr.RunSession(batch) // session 0 trains the front and sizes all scratch
+	tr.RunSession(batch)
+
+	if allocs := testing.AllocsPerRun(5, func() { tr.RunSession(batch) }); allocs != 0 {
+		t.Fatalf("steady-state trainer session allocated %v times, want 0", allocs)
+	}
+}
+
+// TestTrainerReplaySessionAllocsBounded pins the full replay path's
+// allocation budget to the by-design memory writes: one activation copy per
+// batch sample, nothing per step.
+func TestTrainerReplaySessionAllocsBounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	p := video.DETRACProfile()
+	s := NewStudent(p.FeatureDim(), p.NumClasses(), rng)
+	cfg := DefaultTrainerConfig()
+	cfg.Epochs = 2
+	tr := NewTrainer(s, cfg, rand.New(rand.NewPCG(43, 44)))
+	for i := 0; i < 4; i++ {
+		tr.RunSession(benchBatch(p, 300, rng))
+	}
+	batch := benchBatch(p, 64, rng)
+	tr.RunSession(batch)
+
+	allocs := testing.AllocsPerRun(5, func() { tr.RunSession(batch) })
+	if allocs > float64(len(batch))+2 {
+		t.Fatalf("replay session allocated %v times for %d samples; want ≤ batch-size activation copies", allocs, len(batch))
+	}
+}
+
+// TestInferAllocsBounded keeps the per-frame inference path to its result
+// slices: the feature matrix, softmax scratch and layer outputs are pinned.
+func TestInferAllocsBounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	p := video.DETRACProfile()
+	s := NewStudent(p.FeatureDim(), p.NumClasses(), rng)
+	stream := video.NewStream(p, 1)
+	f := stream.Next()
+	s.Infer(f)
+
+	allocs := testing.AllocsPerRun(10, func() { s.Infer(f) })
+	if allocs > 8 {
+		t.Fatalf("Infer allocated %v times per frame; only the returned result slices may allocate", allocs)
+	}
+}

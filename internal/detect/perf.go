@@ -1,0 +1,41 @@
+package detect
+
+// PerfCounters accumulates the wall-clock cost of a session's compute hot
+// paths: student inference on the edge and adaptive-training sessions. They
+// are workspace state — owned by one session, updated single-threaded as its
+// virtual timeline executes — and are diagnostics only: nothing here feeds
+// back into Results, so enabling them cannot perturb a run.
+type PerfCounters struct {
+	InferFrames   int64   // frames pushed through Student.Infer
+	InferSeconds  float64 // wall-clock seconds spent in Student.Infer
+	TrainSessions int64   // completed adaptive-training sessions
+	TrainSteps    int64   // SGD steps across all sessions
+	TrainSeconds  float64 // wall-clock seconds spent inside RunSession
+}
+
+// Add accumulates o into c (used by fleet-level aggregation).
+func (c *PerfCounters) Add(o *PerfCounters) {
+	c.InferFrames += o.InferFrames
+	c.InferSeconds += o.InferSeconds
+	c.TrainSessions += o.TrainSessions
+	c.TrainSteps += o.TrainSteps
+	c.TrainSeconds += o.TrainSeconds
+}
+
+// InferFPS returns achieved inference throughput in frames per wall-clock
+// second (0 when nothing ran).
+func (c *PerfCounters) InferFPS() float64 {
+	if c.InferSeconds <= 0 {
+		return 0
+	}
+	return float64(c.InferFrames) / c.InferSeconds
+}
+
+// TrainStepsPerSec returns achieved training throughput in SGD steps per
+// wall-clock second (0 when nothing ran).
+func (c *PerfCounters) TrainStepsPerSec() float64 {
+	if c.TrainSeconds <= 0 {
+		return 0
+	}
+	return float64(c.TrainSteps) / c.TrainSeconds
+}

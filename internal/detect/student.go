@@ -85,6 +85,12 @@ type Student struct {
 
 	// MinConfidence is the output threshold for emitting a detection.
 	MinConfidence float64
+
+	// Inference scratch, sized on first use: the proposal feature matrix
+	// and the per-proposal softmax buffer. Per-student (and therefore
+	// per-session) state — Students are not safe for concurrent use.
+	inferX     *tensor.Matrix
+	inferProbs []float64
 }
 
 // NewStudent builds the student architecture for a profile-compatible
@@ -127,16 +133,14 @@ func NewStudentWithNorm(featureDim, numClasses int, useBRN bool, rng *rand.Rand)
 // BackgroundClass returns the label used for negatives.
 func (s *Student) BackgroundClass() int { return s.NumClasses }
 
-// featureMatrix stacks proposal features into a batch matrix.
-func featureMatrix(proposals []video.Proposal) *tensor.Matrix {
-	if len(proposals) == 0 {
-		return tensor.New(0, 0)
-	}
-	m := tensor.New(len(proposals), len(proposals[0].Features))
+// featureMatrix stacks proposal features into the student's pinned batch
+// buffer (grown on first use, reused across frames).
+func (s *Student) featureMatrix(proposals []video.Proposal) *tensor.Matrix {
+	s.inferX = tensor.Ensure(s.inferX, len(proposals), len(proposals[0].Features))
 	for i, p := range proposals {
-		copy(m.Row(i), p.Features)
+		copy(s.inferX.Row(i), p.Features)
 	}
-	return m
+	return s.inferX
 }
 
 // InferResult bundles one frame's detections with the per-proposal top
@@ -154,14 +158,18 @@ func (s *Student) Infer(f *video.Frame) InferResult {
 	if len(f.Proposals) == 0 {
 		return InferResult{}
 	}
-	x := featureMatrix(f.Proposals)
+	x := s.featureMatrix(f.Proposals)
 	z := s.Backbone.Forward(x, false)
 	logits := s.ClassHead.Forward(z, false)
 	offsets := s.BoxHead.Forward(z, false)
 
+	if cap(s.inferProbs) < logits.Cols {
+		s.inferProbs = make([]float64, logits.Cols)
+	}
+	probs := s.inferProbs[:logits.Cols]
 	res := InferResult{Confidences: make([]float64, len(f.Proposals))}
 	for i := range f.Proposals {
-		probs := tensor.SoftmaxRow(logits.Row(i))
+		tensor.SoftmaxRowInto(probs, logits.Row(i))
 		cls, best := 0, probs[0]
 		for c, p := range probs {
 			if p > best {

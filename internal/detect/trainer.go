@@ -2,6 +2,7 @@ package detect
 
 import (
 	"math/rand/v2"
+	"time"
 
 	"shoggoth/internal/nn"
 	"shoggoth/internal/replay"
@@ -66,6 +67,12 @@ type SessionStats struct {
 // at the replay layer; the backward pass stops at the replay layer once the
 // front is frozen. The same Trainer is reused by the AMS baseline, which
 // runs it in the cloud on a model copy.
+//
+// A Trainer owns a workspace of pinned mini-batch buffers (fresh-sample
+// selection, replay concatenation, supervision targets, gradients) that are
+// sized on the first session and reused afterwards, so a steady-state
+// training step performs zero heap allocations. It is single-session state:
+// never share a Trainer, its pool, or its student across goroutines.
 type Trainer struct {
 	Config  TrainerConfig
 	Student *Student
@@ -74,6 +81,17 @@ type Trainer struct {
 	opt      *nn.SGD
 	rng      *rand.Rand
 	sessions int
+
+	pool               *tensor.Pool   // session scratch pool (AttachWorkspace replaces it)
+	perf               *PerfCounters  // optional workspace counters
+	loss               nn.LossScratch // reusable loss gradients
+	params             []*nn.Param    // pinned parameter list for the optimizer
+	newX, concat, boxT *tensor.Matrix // pinned batch buffers
+	labels             []int
+	mask               []bool
+	permBuf            []int
+	replayBuf          []replay.Sample
+	memSamples         []replay.Sample // reusable staging for updateMemory
 }
 
 // NewTrainer creates a trainer bound to a student.
@@ -88,7 +106,19 @@ func NewTrainer(s *Student, cfg TrainerConfig, rng *rand.Rand) *Trainer {
 		Memory:  replay.NewMemoryWithPolicy(cfg.ReplayCapacity, cfg.ReplayPolicy, rng),
 		opt:     nn.NewSGD(cfg.LR, cfg.Momentum),
 		rng:     rng,
+		pool:    tensor.NewPool(),
 	}
+}
+
+// AttachWorkspace points the trainer at a session-owned scratch pool and
+// perf counters (the per-session workspace threaded through core.System).
+// Call before the first session; both may be nil to keep trainer-private
+// defaults.
+func (t *Trainer) AttachWorkspace(pool *tensor.Pool, perf *PerfCounters) {
+	if pool != nil {
+		t.pool = pool
+	}
+	t.perf = perf
 }
 
 // Sessions returns the number of completed training sessions.
@@ -114,9 +144,36 @@ func (t *Trainer) frontTrainable() bool {
 	return t.sessions == 0 // paper: LR→0 after the first batch
 }
 
+// trainParams returns the pinned full parameter list, built once per
+// trainer (the student's parameter set is fixed; LR scales mutate the
+// shared Param structs, not this list).
+func (t *Trainer) trainParams() []*nn.Param {
+	if t.params == nil {
+		t.params = t.Student.Params()
+	}
+	return t.params
+}
+
+// ensureInts returns s resized to n, reusing its backing array when possible.
+func ensureInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// ensureBools returns s resized to n, reusing its backing array when possible.
+func ensureBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
 // RunSession fine-tunes the student on the labeled batch plus replay memory
 // and then updates the memory per Algorithm 1.
 func (t *Trainer) RunSession(batch []LabeledRegion) SessionStats {
+	started := time.Now()
 	cfg := t.Config
 	s := t.Student
 	split := t.split()
@@ -140,8 +197,9 @@ func (t *Trainer) RunSession(batch []LabeledRegion) SessionStats {
 	}
 	s.Backbone.SetLRScaleRange(split, s.Backbone.Len(), 1)
 
-	// Raw feature matrix of the new batch (front input).
-	newX := tensor.New(len(batch), len(batch[0].Features))
+	// Raw feature matrix of the new batch (front input) — pinned buffer.
+	t.newX = tensor.Ensure(t.newX, len(batch), len(batch[0].Features))
+	newX := t.newX
 	for i, r := range batch {
 		copy(newX.Row(i), r.Features)
 	}
@@ -157,15 +215,20 @@ func (t *Trainer) RunSession(batch []LabeledRegion) SessionStats {
 	frontPassTrain := !cfg.CompletelyFrozen
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		order := t.rng.Perm(len(batch))
+		t.permBuf = replay.PermInto(t.rng, len(batch), t.permBuf)
+		order := t.permBuf
 		for lo := 0; lo < len(order); lo += kNew {
 			hi := minInt(lo+kNew, len(order))
 			newIdx := order[lo:hi]
-			replaySamples := t.Memory.Sample(kRep)
+			t.replayBuf = t.Memory.SampleInto(kRep, t.replayBuf)
+			replaySamples := t.replayBuf
 
 			// Forward: fresh samples cross the front; replay activations
-			// are injected at the replay layer (paper Fig. 3 concat).
-			sel := tensor.SelectRows(newX, newIdx)
+			// are injected at the replay layer (paper Fig. 3 concat). The
+			// selection buffer is pool scratch because its row count varies
+			// with the final partial mini-batch.
+			sel := t.pool.Get(len(newIdx), newX.Cols)
+			tensor.SelectRowsInto(sel, newX, newIdx)
 			var frontOut *tensor.Matrix
 			if split > 0 {
 				frontOut = s.Backbone.ForwardRange(0, split, sel, frontPassTrain)
@@ -173,26 +236,30 @@ func (t *Trainer) RunSession(batch []LabeledRegion) SessionStats {
 				frontOut = sel
 			}
 			rows := frontOut.Rows + len(replaySamples)
-			concat := tensor.New(rows, frontOut.Cols)
+			t.concat = tensor.Ensure(t.concat, rows, frontOut.Cols)
+			concat := t.concat
 			copy(concat.Data, frontOut.Data)
-			labels := make([]int, rows)
-			boxTargets := tensor.New(rows, 4)
-			mask := make([]bool, rows)
+			t.labels = ensureInts(t.labels, rows)
+			labels := t.labels
+			t.boxT = tensor.Ensure(t.boxT, rows, 4)
+			boxTargets := t.boxT
+			t.mask = ensureBools(t.mask, rows)
+			mask := t.mask
 			for i, bi := range newIdx {
 				r := batch[bi]
 				labels[i] = r.Class
+				mask[i] = r.HasBox
 				if r.HasBox {
 					copy(boxTargets.Row(i), r.Offset[:])
-					mask[i] = true
 				}
 			}
 			for j, rs := range replaySamples {
 				row := frontOut.Rows + j
 				copy(concat.Row(row), rs.Activation)
 				labels[row] = rs.Class
+				mask[row] = rs.HasBox
 				if rs.HasBox {
 					copy(boxTargets.Row(row), rs.BoxTarget[:])
-					mask[row] = true
 				}
 			}
 
@@ -200,8 +267,8 @@ func (t *Trainer) RunSession(batch []LabeledRegion) SessionStats {
 			logits := s.ClassHead.Forward(z, true)
 			offsets := s.BoxHead.Forward(z, true)
 
-			lossC, gLogits := nn.SoftmaxCrossEntropy(logits, labels)
-			lossB, gOffsets := nn.SmoothL1(offsets, boxTargets, mask)
+			lossC, gLogits := t.loss.SoftmaxCrossEntropy(logits, labels)
+			lossB, gOffsets := t.loss.SmoothL1(offsets, boxTargets, mask)
 			sumCls += lossC
 			sumBox += lossB
 			stats.Steps++
@@ -215,11 +282,13 @@ func (t *Trainer) RunSession(batch []LabeledRegion) SessionStats {
 			if frontTrain && split > 0 {
 				// Only the fresh rows propagate into the front layers;
 				// replay activations carry no path back to the input.
-				gNew := tensor.New(frontOut.Rows, gIn.Cols)
+				gNew := t.pool.Get(frontOut.Rows, gIn.Cols)
 				copy(gNew.Data, gIn.Data[:frontOut.Rows*gIn.Cols])
 				s.Backbone.BackwardRange(0, split, gNew)
+				t.pool.Put(gNew)
 			}
-			t.opt.Step(s.Params())
+			t.opt.Step(t.trainParams())
+			t.pool.Put(sel)
 		}
 	}
 
@@ -230,13 +299,20 @@ func (t *Trainer) RunSession(batch []LabeledRegion) SessionStats {
 
 	t.updateMemory(batch, newX, split)
 	t.sessions++
+	if t.perf != nil {
+		t.perf.TrainSessions++
+		t.perf.TrainSteps += int64(stats.Steps)
+		t.perf.TrainSeconds += time.Since(started).Seconds()
+	}
 	return stats
 }
 
 // updateMemory stores the batch's replay-layer activations (Algorithm 1).
 // Activations are captured in eval mode with the post-session front, so they
 // stay consistent with the frozen front in later sessions; any residual
-// drift from BRN-moment adaptation is the paper's "aging effect".
+// drift from BRN-moment adaptation is the paper's "aging effect". The
+// activation copies deliberately allocate: they are handed to the replay
+// memory, which owns them for many future sessions.
 func (t *Trainer) updateMemory(batch []LabeledRegion, newX *tensor.Matrix, split int) {
 	if t.Memory.Cap() == 0 {
 		t.Memory.Update(nil) // still counts the run for Algorithm 1 bookkeeping
@@ -248,7 +324,10 @@ func (t *Trainer) updateMemory(batch []LabeledRegion, newX *tensor.Matrix, split
 	} else {
 		acts = newX
 	}
-	samples := make([]replay.Sample, len(batch))
+	if cap(t.memSamples) < len(batch) {
+		t.memSamples = make([]replay.Sample, len(batch))
+	}
+	samples := t.memSamples[:len(batch)]
 	for i, r := range batch {
 		samples[i] = replay.Sample{
 			Activation: append([]float64(nil), acts.Row(i)...),

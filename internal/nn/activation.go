@@ -6,6 +6,8 @@ import "shoggoth/internal/tensor"
 type ReLU struct {
 	name string
 	mask []bool // which inputs were positive at the last training forward
+
+	out, dx *tensor.Matrix // reusable scratch (see the Layer contract)
 }
 
 // NewReLU creates a ReLU activation layer.
@@ -17,18 +19,21 @@ func (r *ReLU) Name() string { return r.name }
 // OutDim implements Layer.
 func (r *ReLU) OutDim(in int) int { return in }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned matrix is layer-owned scratch.
 func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	out := tensor.New(x.Rows, x.Cols)
+	r.out = tensor.Ensure(r.out, x.Rows, x.Cols)
+	out := r.out
 	if train {
-		if len(r.mask) != len(x.Data) {
+		if cap(r.mask) < len(x.Data) {
 			r.mask = make([]bool, len(x.Data))
 		}
+		r.mask = r.mask[:len(x.Data)]
 		for i, v := range x.Data {
 			if v > 0 {
 				out.Data[i] = v
 				r.mask[i] = true
 			} else {
+				out.Data[i] = 0
 				r.mask[i] = false
 			}
 		}
@@ -37,6 +42,8 @@ func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -47,13 +54,15 @@ func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if len(r.mask) != len(grad.Data) {
 		panic("nn: ReLU.Backward shape mismatch with last Forward")
 	}
-	out := tensor.New(grad.Rows, grad.Cols)
+	r.dx = tensor.Ensure(r.dx, grad.Rows, grad.Cols)
 	for i, g := range grad.Data {
 		if r.mask[i] {
-			out.Data[i] = g
+			r.dx.Data[i] = g
+		} else {
+			r.dx.Data[i] = 0
 		}
 	}
-	return out
+	return r.dx
 }
 
 // Params implements Layer.

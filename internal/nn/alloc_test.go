@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"shoggoth/internal/tensor"
+)
+
+// TestStepZeroAlloc guards the workspace discipline of every layer: after
+// the first call has sized the scratch, steady-state Forward/Backward/Step
+// and the loss computations must perform zero heap allocations.
+func TestStepZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	const batch, in, out = 32, 24, 48
+
+	x := tensor.New(batch, in)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+
+	dense := NewDense("d", in, out, rng)
+	relu := NewReLU("r")
+	brn := NewBatchRenorm("brn", out)
+	opt := NewSGD(0.05, 0.9)
+	var loss LossScratch
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = rng.IntN(5)
+	}
+	logits := tensor.New(batch, 5)
+	for i := range logits.Data {
+		logits.Data[i] = rng.NormFloat64()
+	}
+	target := tensor.New(batch, 4)
+	mask := make([]bool, batch)
+	for i := range mask {
+		mask[i] = i%2 == 0
+	}
+	pred := tensor.New(batch, 4)
+
+	step := func() {
+		h := dense.Forward(x, true)
+		h = relu.Forward(h, true)
+		h = brn.Forward(h, true)
+		g := brn.Backward(h)
+		g = relu.Backward(g)
+		dense.Backward(g)
+		opt.Step(dense.Params())
+		opt.Step(brn.Params())
+		loss.SoftmaxCrossEntropy(logits, labels)
+		loss.SmoothL1(pred, target, mask)
+	}
+	step() // size all scratch (and the SGD velocity) on first use
+
+	if allocs := testing.AllocsPerRun(10, step); allocs != 0 {
+		t.Fatalf("steady-state layer step allocated %v times, want 0", allocs)
+	}
+
+	// Eval-mode forwards share the discipline (separate eval scratch).
+	evalPass := func() {
+		h := dense.Forward(x, false)
+		h = relu.Forward(h, false)
+		brn.Forward(h, false)
+	}
+	evalPass()
+	if allocs := testing.AllocsPerRun(10, evalPass); allocs != 0 {
+		t.Fatalf("steady-state eval pass allocated %v times, want 0", allocs)
+	}
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"shoggoth/internal/tensor"
+)
+
+// Step micro-benchmarks for the layer hot path. Run with
+//
+//	go test -bench=BenchmarkStep -benchmem ./internal/nn
+//
+// Steady-state allocs/op must stay at 0 (guarded by TestStepZeroAlloc).
+
+const (
+	benchBatch = 64
+	benchIn    = 24
+	benchOut   = 48
+)
+
+func benchDense(b *testing.B) (*Dense, *tensor.Matrix) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(1, 2))
+	d := NewDense("bench", benchIn, benchOut, rng)
+	x := tensor.New(benchBatch, benchIn)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return d, x
+}
+
+func BenchmarkStepDenseForward(b *testing.B) {
+	d, x := benchDense(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Forward(x, true)
+	}
+}
+
+func BenchmarkStepDenseBackward(b *testing.B) {
+	d, x := benchDense(b)
+	out := d.Forward(x, true)
+	grad := tensor.New(out.Rows, out.Cols)
+	grad.Fill(0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Backward(grad)
+		d.W.Grad.Zero()
+		d.B.Grad.Zero()
+	}
+}
+
+func BenchmarkStepBatchRenorm(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	brn := NewBatchRenorm("bench.brn", benchOut)
+	x := tensor.New(benchBatch, benchOut)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	grad := tensor.New(benchBatch, benchOut)
+	grad.Fill(0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		brn.Forward(x, true)
+		brn.Backward(grad)
+		brn.Gamma.Grad.Zero()
+		brn.Beta.Grad.Zero()
+	}
+}
+
+func BenchmarkStepSoftmaxCrossEntropy(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	logits := tensor.New(benchBatch, 5)
+	for i := range logits.Data {
+		logits.Data[i] = rng.NormFloat64()
+	}
+	labels := make([]int, benchBatch)
+	for i := range labels {
+		labels[i] = rng.IntN(5)
+	}
+	var scratch LossScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.SoftmaxCrossEntropy(logits, labels)
+	}
+}

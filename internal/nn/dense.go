@@ -13,6 +13,16 @@ type Dense struct {
 	W, B    *Param
 	lastX   *tensor.Matrix // cached input for backward
 	lrScale float64
+
+	// Scratch, sized on first use and reused across steps (see the Layer
+	// contract): the forward output, the backward input gradient, the bias
+	// gradient staging row, and the nonzero-compaction buffers of the NZ
+	// matmul kernels. Staging dB before accumulating keeps the float64 op
+	// order identical to the allocating implementation (compute the full
+	// column sums, then add element-wise); the weight gradient fuses the
+	// same two steps inside MulAtBAddNZ.
+	out, dx, dB *tensor.Matrix
+	nz          tensor.NZScratch
 }
 
 // NewDense creates an in×out dense layer with He-style initialisation drawn
@@ -39,12 +49,14 @@ func (d *Dense) OutDim(int) int { return d.W.Value.Cols }
 // InDim returns the expected input feature dimension.
 func (d *Dense) InDim() int { return d.W.Value.Rows }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned matrix is layer-owned scratch.
 func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if train {
 		d.lastX = x
 	}
-	return tensor.AddRowVector(tensor.MatMul(x, d.W.Value), d.B.Value)
+	d.out = tensor.Ensure(d.out, x.Rows, d.W.Value.Cols)
+	tensor.MulBiasIntoNZ(d.out, x, d.W.Value, d.B.Value, &d.nz)
+	return d.out
 }
 
 // Backward implements Layer. dW = xᵀg, db = Σg, dx = g·Wᵀ.
@@ -52,9 +64,13 @@ func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if d.lastX == nil {
 		panic("nn: Dense.Backward before Forward(train=true)")
 	}
-	tensor.AddInPlace(d.W.Grad, tensor.TMatMul(d.lastX, grad))
-	tensor.AddInPlace(d.B.Grad, tensor.SumRows(grad))
-	return tensor.MatMulT(grad, d.W.Value)
+	tensor.MulAtBAddNZ(d.W.Grad, d.lastX, grad, &d.nz)
+	d.dB = tensor.Ensure(d.dB, 1, grad.Cols)
+	tensor.SumRowsInto(d.dB, grad)
+	tensor.AddInPlace(d.B.Grad, d.dB)
+	d.dx = tensor.Ensure(d.dx, grad.Rows, d.W.Value.Rows)
+	tensor.MulABt(d.dx, grad, d.W.Value)
+	return d.dx
 }
 
 // Params implements Layer.
@@ -70,7 +86,8 @@ func (d *Dense) SetLRScale(s float64) {
 // MACs returns multiply-accumulate operations per input row.
 func (d *Dense) MACs() int64 { return int64(d.W.Value.Rows) * int64(d.W.Value.Cols) }
 
-// Clone implements Layer.
+// Clone implements Layer. Scratch is not copied: the clone sizes its own on
+// first use, so clones share no state with the receiver.
 func (d *Dense) Clone() Layer {
 	c := &Dense{name: d.name, lrScale: d.lrScale}
 	c.W = &Param{Name: d.W.Name, Value: d.W.Value.Clone(), Grad: tensor.New(d.W.Grad.Rows, d.W.Grad.Cols), LRScale: d.W.LRScale}

@@ -30,6 +30,13 @@ type Param struct {
 // Forward must cache whatever it needs for the next Backward call; Backward
 // consumes that cache, accumulates parameter gradients and returns the
 // gradient with respect to the layer input.
+//
+// Memory contract: the matrices returned by Forward and Backward are scratch
+// owned by the layer, overwritten by that layer's next Forward/Backward call
+// (train or eval). Callers that need a result to outlive the next call must
+// Clone it. In exchange, steady-state training performs zero heap
+// allocations. Layers are not safe for concurrent use; every session owns
+// its own model (and therefore its own scratch).
 type Layer interface {
 	// Name identifies the layer for serialisation and debugging.
 	Name() string

@@ -7,7 +7,8 @@ import (
 )
 
 // normCache holds the per-batch values needed for the backward pass of the
-// normalisation layers.
+// normalisation layers. The slices and matrices point into layer-owned
+// scratch that is overwritten by the next training forward.
 type normCache struct {
 	x        *tensor.Matrix // input
 	xhat     *tensor.Matrix // normalised (pre-affine, pre-d) values r·(x−μ)/σ
@@ -34,6 +35,17 @@ type BatchNorm struct {
 	FreezeStats bool
 
 	cache normCache
+
+	// Scratch, sized on first use (see the Layer contract). The train-mode
+	// and eval-mode buffers are separate so an eval pass (replay-activation
+	// capture, inference) never clobbers a pending backward cache.
+	mean, variance *tensor.Matrix // batch statistics (1×C)
+	xhat, out      *tensor.Matrix // train-mode normalised values and output
+	invStd, ones   []float64
+	evalOut        *tensor.Matrix // eval-mode output
+	evalInv        []float64
+	dx             *tensor.Matrix // backward output
+	sumG, sumGX    []float64
 }
 
 // NewBatchNorm creates a BatchNorm layer over dim features.
@@ -68,17 +80,28 @@ func (bn *BatchNorm) SetLRScale(s float64) {
 	bn.Beta.LRScale = s
 }
 
-// Forward implements Layer.
+// ensureFloats returns s resized to n elements, reusing its backing array
+// when the capacity suffices. Contents are unspecified.
+func ensureFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// Forward implements Layer. The returned matrix is layer-owned scratch.
 func (bn *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if !train || x.Rows < 2 {
 		return bn.evalForward(x)
 	}
-	mean := tensor.MeanRows(x)
-	variance := tensor.VarRows(x, mean)
+	bn.mean = tensor.Ensure(bn.mean, 1, x.Cols)
+	tensor.MeanRowsInto(bn.mean, x)
+	bn.variance = tensor.Ensure(bn.variance, 1, x.Cols)
+	tensor.VarRowsInto(bn.variance, x, bn.mean)
 	if !bn.FreezeStats {
-		bn.updateRunning(mean, variance)
+		bn.updateRunning(bn.mean, bn.variance)
 	}
-	return bn.normalize(x, mean, variance, nil)
+	return bn.normalize(x, bn.mean, bn.variance, nil)
 }
 
 // BatchRenorm is Batch Renormalization (Ioffe, NeurIPS 2017): training-time
@@ -90,6 +113,8 @@ type BatchRenorm struct {
 	BatchNorm
 	RMax float64 // clip for r = σ_batch/σ_run
 	DMax float64 // clip for d = (μ_batch-μ_run)/σ_run
+
+	rBuf, dBuf []float64 // reusable r/d correction scratch
 }
 
 // NewBatchRenorm creates a BatchRenorm layer over dim features.
@@ -100,17 +125,21 @@ func NewBatchRenorm(name string, dim int) *BatchRenorm {
 	return brn
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned matrix is layer-owned scratch.
 func (brn *BatchRenorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if !train || x.Rows < 2 {
 		return brn.evalForward(x)
 	}
-	mean := tensor.MeanRows(x)
-	variance := tensor.VarRows(x, mean)
+	brn.mean = tensor.Ensure(brn.mean, 1, x.Cols)
+	tensor.MeanRowsInto(brn.mean, x)
+	brn.variance = tensor.Ensure(brn.variance, 1, x.Cols)
+	tensor.VarRowsInto(brn.variance, x, brn.mean)
+	mean, variance := brn.mean, brn.variance
 
 	dim := x.Cols
-	r := make([]float64, dim)
-	d := make([]float64, dim)
+	brn.rBuf = ensureFloats(brn.rBuf, dim)
+	brn.dBuf = ensureFloats(brn.dBuf, dim)
+	r, d := brn.rBuf, brn.dBuf
 	for j := 0; j < dim; j++ {
 		sigmaB := math.Sqrt(variance.Data[j] + brn.Eps)
 		sigmaR := math.Sqrt(brn.RunVar.Data[j] + brn.Eps)
@@ -132,6 +161,8 @@ func (brn *BatchRenorm) Clone() Layer {
 // Clone implements Layer.
 func (bn *BatchNorm) Clone() Layer { return bn.cloneInto() }
 
+// cloneInto copies the weights and statistics; scratch and caches are left
+// empty so the clone shares no state with the receiver.
 func (bn *BatchNorm) cloneInto() *BatchNorm {
 	c := &BatchNorm{
 		name:        bn.name,
@@ -155,9 +186,11 @@ func (bn *BatchNorm) updateRunning(mean, variance *tensor.Matrix) {
 }
 
 func (bn *BatchNorm) evalForward(x *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(x.Rows, x.Cols)
+	bn.evalOut = tensor.Ensure(bn.evalOut, x.Rows, x.Cols)
+	out := bn.evalOut
 	dim := x.Cols
-	inv := make([]float64, dim)
+	bn.evalInv = ensureFloats(bn.evalInv, dim)
+	inv := bn.evalInv
 	for j := 0; j < dim; j++ {
 		inv[j] = 1 / math.Sqrt(bn.RunVar.Data[j]+bn.Eps)
 	}
@@ -173,21 +206,24 @@ func (bn *BatchNorm) evalForward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // normalize performs the training-mode BN transform and fills the backward
-// cache. If rd is non-nil it holds the BRN r corrections.
+// cache. If r is non-nil it holds the BRN r corrections.
 func (bn *BatchNorm) normalize(x, mean, variance *tensor.Matrix, r []float64) *tensor.Matrix {
 	dim := x.Cols
-	invStd := make([]float64, dim)
+	bn.invStd = ensureFloats(bn.invStd, dim)
+	invStd := bn.invStd
 	for j := 0; j < dim; j++ {
 		invStd[j] = 1 / math.Sqrt(variance.Data[j]+bn.Eps)
 	}
 	if r == nil {
-		r = make([]float64, dim)
+		bn.ones = ensureFloats(bn.ones, dim)
+		r = bn.ones
 		for j := range r {
 			r[j] = 1
 		}
 	}
-	xhat := tensor.New(x.Rows, x.Cols)
-	out := tensor.New(x.Rows, x.Cols)
+	bn.xhat = tensor.Ensure(bn.xhat, x.Rows, x.Cols)
+	bn.out = tensor.Ensure(bn.out, x.Rows, x.Cols)
+	xhat, out := bn.xhat, bn.out
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		hrow := xhat.Row(i)
@@ -229,8 +265,12 @@ func (bn *BatchNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	}
 	n := float64(c.batchLen)
 	dim := grad.Cols
-	sumG := make([]float64, dim)
-	sumGX := make([]float64, dim)
+	bn.sumG = ensureFloats(bn.sumG, dim)
+	bn.sumGX = ensureFloats(bn.sumGX, dim)
+	sumG, sumGX := bn.sumG, bn.sumGX
+	for j := 0; j < dim; j++ {
+		sumG[j], sumGX[j] = 0, 0
+	}
 	for i := 0; i < grad.Rows; i++ {
 		grow := grad.Row(i)
 		hrow := c.xhat.Row(i)
@@ -247,7 +287,8 @@ func (bn *BatchNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		bn.Gamma.Grad.Data[j] += dgamma
 		bn.Beta.Grad.Data[j] += sumG[j]
 	}
-	out := tensor.New(grad.Rows, grad.Cols)
+	bn.dx = tensor.Ensure(bn.dx, grad.Rows, grad.Cols)
+	out := bn.dx
 	for i := 0; i < grad.Rows; i++ {
 		grow := grad.Row(i)
 		hrow := c.xhat.Row(i)

@@ -20,11 +20,15 @@ func NewSGD(lr, momentum float64) *SGD {
 }
 
 // Step applies one update to every parameter using its accumulated gradient,
-// then clears the gradients.
+// then clears the gradients. Frozen parameters (LRScale 0) are skipped
+// without touching their gradient: the training loops stop back-propagation
+// at frozen layers, so a frozen parameter's gradient accumulator is always
+// zero already — re-clearing ~40KB of zeros per step was pure overhead. A
+// caller that accumulates gradients into a frozen parameter must clear them
+// itself before unfreezing.
 func (o *SGD) Step(params []*Param) {
 	for _, p := range params {
 		if p.LRScale == 0 {
-			p.Grad.Zero()
 			continue
 		}
 		v, ok := o.velocity[p]

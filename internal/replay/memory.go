@@ -48,6 +48,31 @@ type Memory struct {
 	next     int // FIFO cursor
 	runs     int // i in Algorithm 1: the adaptive-training run counter
 	rng      *rand.Rand
+
+	permBuf  []int // reusable permutation scratch for Sample/Update
+	permBuf2 []int // second scratch for Update's simultaneous add/replace draws
+}
+
+// PermInto fills buf with a permutation of [0, n) drawn exactly like
+// rand.Perm, but reusing buf's backing array, so per-step sampling stays
+// allocation-free without perturbing the deterministic RNG stream. The
+// inlined Fisher–Yates makes the same IntN(i+1) draws Shuffle makes (IntN
+// is uint64n, the call Shuffle uses), minus the per-swap closure call.
+// Exported because the trainer's epoch shuffling shares this exact
+// RNG-stream contract; keep the one implementation.
+func PermInto(rng *rand.Rand, n int, buf []int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.IntN(i + 1)
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf
 }
 
 // NewMemory creates an empty replay memory holding at most capacity samples,
@@ -107,8 +132,8 @@ func (m *Memory) Update(batch []Sample) {
 		take := min(free, len(batch))
 		// Memorize a random subset when the batch exceeds the free space so
 		// no positional bias enters the memory.
-		perm := m.rng.Perm(len(batch))
-		for _, idx := range perm[:take] {
+		m.permBuf = PermInto(m.rng, len(batch), m.permBuf)
+		for _, idx := range m.permBuf[:take] {
 			m.samples = append(m.samples, batch[idx])
 		}
 		return
@@ -128,8 +153,10 @@ func (m *Memory) Update(batch []Sample) {
 		return
 	}
 	h = min(h, len(batch))
-	addIdx := m.rng.Perm(len(batch))[:h]
-	replaceIdx := m.rng.Perm(len(m.samples))[:h]
+	m.permBuf = PermInto(m.rng, len(batch), m.permBuf)
+	addIdx := m.permBuf[:h]
+	m.permBuf2 = PermInto(m.rng, len(m.samples), m.permBuf2)
+	replaceIdx := m.permBuf2[:h]
 	for k := 0; k < h; k++ {
 		m.samples[replaceIdx[k]] = batch[addIdx[k]]
 	}
@@ -138,20 +165,33 @@ func (m *Memory) Update(batch []Sample) {
 // Sample returns n samples drawn uniformly at random from the memory,
 // without replacement when n ≤ Len (with replacement otherwise).
 func (m *Memory) Sample(n int) []Sample {
+	return m.SampleInto(n, nil)
+}
+
+// SampleInto is Sample writing into dst's backing array (grown as needed):
+// hot training loops pass a pinned buffer back in every step so steady-state
+// replay sampling performs no heap allocations. The draw consumes exactly
+// the randomness Sample does, so the two are interchangeable mid-stream. The
+// returned samples alias the memory; callers must not mutate them.
+func (m *Memory) SampleInto(n int, dst []Sample) []Sample {
 	if n <= 0 || len(m.samples) == 0 {
 		return nil
 	}
-	out := make([]Sample, 0, n)
+	if cap(dst) < n {
+		dst = make([]Sample, 0, n)
+	}
+	dst = dst[:0]
 	if n <= len(m.samples) {
-		for _, idx := range m.rng.Perm(len(m.samples))[:n] {
-			out = append(out, m.samples[idx])
+		m.permBuf = PermInto(m.rng, len(m.samples), m.permBuf)
+		for _, idx := range m.permBuf[:n] {
+			dst = append(dst, m.samples[idx])
 		}
-		return out
+		return dst
 	}
 	for k := 0; k < n; k++ {
-		out = append(out, m.samples[m.rng.IntN(len(m.samples))])
+		dst = append(dst, m.samples[m.rng.IntN(len(m.samples))])
 	}
-	return out
+	return dst
 }
 
 // Reset empties the memory and the run counter.

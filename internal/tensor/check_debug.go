@@ -1,0 +1,47 @@
+//go:build tensordebug
+
+package tensor
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Debug-build aliasing assertions. Matrix products and reductions read
+// source elements after writing destination elements, so an aliased
+// destination silently corrupts the result. The release build compiles these
+// checks away (check_release.go); CI runs the tensor and nn tests with
+// -tags tensordebug to catch aliasing regressions.
+
+// checkNoAlias panics when dst's backing array overlaps a's or b's (b may be
+// nil for single-source ops).
+func checkNoAlias(op string, dst, a, b *Matrix) {
+	if dst == nil {
+		return
+	}
+	if a != nil && overlap(dst.Data, a.Data) {
+		panic(fmt.Sprintf("tensor: %s destination aliases first source", op))
+	}
+	if b != nil && overlap(dst.Data, b.Data) {
+		panic(fmt.Sprintf("tensor: %s destination aliases second source", op))
+	}
+}
+
+// checkNoAliasSlice panics when dst overlaps src.
+func checkNoAliasSlice(op string, dst, src []float64) {
+	if overlap(dst, src) {
+		panic(fmt.Sprintf("tensor: %s destination aliases source", op))
+	}
+}
+
+// overlap reports whether the backing arrays of two slices share any element.
+func overlap(a, b []float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	aLo := uintptr(unsafe.Pointer(&a[0]))
+	aHi := aLo + uintptr(len(a))*unsafe.Sizeof(a[0])
+	bLo := uintptr(unsafe.Pointer(&b[0]))
+	bHi := bLo + uintptr(len(b))*unsafe.Sizeof(b[0])
+	return aLo < bHi && bLo < aHi
+}

@@ -1,0 +1,11 @@
+//go:build !tensordebug
+
+package tensor
+
+// checkNoAlias is compiled out in release builds. Build with
+// -tags tensordebug to assert that *Into destinations do not overlap their
+// sources (see check_debug.go).
+func checkNoAlias(string, *Matrix, *Matrix, *Matrix) {}
+
+// checkNoAliasSlice is compiled out in release builds.
+func checkNoAliasSlice(string, []float64, []float64) {}

@@ -1,6 +1,15 @@
 // Package tensor provides the dense linear-algebra primitives used by the
 // neural-network substrate. Only the small set of operations needed for
 // mini-batch MLP training is implemented; everything is row-major float64.
+//
+// Every allocating op (MatMul, Add, SumRows, …) has a destination-passing
+// *Into twin (MulInto, AddInto, SumRowsInto, …) that writes into a
+// caller-owned matrix; inplace.go documents the naming convention and the
+// aliasing rules, Ensure grows reusable scratch, and Pool recycles buffers
+// by size. The hot training path is built entirely from the *Into forms so
+// its steady state performs zero heap allocations, while the allocating
+// forms remain for cold paths and tests. Both forms perform identical
+// float64 operations in identical order, so results are bit-for-bit equal.
 package tensor
 
 import (
@@ -24,12 +33,27 @@ func New(rows, cols int) *Matrix {
 }
 
 // FromSlice wraps data (length rows*cols, row-major) in a Matrix without
-// copying. The caller must not reuse data afterwards.
+// copying. The matrix aliases data: the caller must not write to data (or
+// hand it to a buffer pool) afterwards. Callers that keep using or recycling
+// the slice — e.g. feeding a reused staging buffer — must use FromSliceCopy
+// instead.
 func FromSlice(rows, cols int, data []float64) *Matrix {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromSliceCopy builds a rows×cols matrix from a copy of data, leaving the
+// caller free to reuse the slice. This is the safe alternative to FromSlice
+// when the source buffer outlives the call.
+func FromSliceCopy(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m
 }
 
 // FromRows builds a matrix by copying the given equal-length rows.
@@ -102,19 +126,7 @@ func MatMul(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	MulInto(out, a, b)
 	return out
 }
 
@@ -124,17 +136,7 @@ func MatMulT(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			out.Data[i*out.Cols+j] = s
-		}
-	}
+	MulABt(out, a, b)
 	return out
 }
 
@@ -144,19 +146,7 @@ func TMatMul(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: tmatmul shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	for r := 0; r < a.Rows; r++ {
-		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
-		brow := b.Data[r*b.Cols : (r+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	MulAtB(out, a, b)
 	return out
 }
 
@@ -175,9 +165,7 @@ func (m *Matrix) Transpose() *Matrix {
 func Add(a, b *Matrix) *Matrix {
 	checkSameShape("add", a, b)
 	out := New(a.Rows, a.Cols)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
-	}
+	AddInto(out, a, b)
 	return out
 }
 
@@ -185,9 +173,7 @@ func Add(a, b *Matrix) *Matrix {
 func Sub(a, b *Matrix) *Matrix {
 	checkSameShape("sub", a, b)
 	out := New(a.Rows, a.Cols)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
-	}
+	SubInto(out, a, b)
 	return out
 }
 
@@ -212,9 +198,7 @@ func AddInPlace(a, b *Matrix) {
 // Scale returns m scaled by s as a new matrix.
 func (m *Matrix) Scale(s float64) *Matrix {
 	out := New(m.Rows, m.Cols)
-	for i, v := range m.Data {
-		out.Data[i] = v * s
-	}
+	ScaleInto(out, m, s)
 	return out
 }
 
@@ -232,55 +216,29 @@ func AddRowVector(m, v *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: addRowVector shape mismatch %dx%d + %dx%d", m.Rows, m.Cols, v.Rows, v.Cols))
 	}
 	out := New(m.Rows, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, x := range row {
-			orow[j] = x + v.Data[j]
-		}
-	}
+	AddRowVectorInto(out, m, v)
 	return out
 }
 
 // SumRows returns a 1×Cols row vector with the column sums of m.
 func SumRows(m *Matrix) *Matrix {
 	out := New(1, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, x := range row {
-			out.Data[j] += x
-		}
-	}
+	SumRowsInto(out, m)
 	return out
 }
 
 // MeanRows returns a 1×Cols row vector with the column means of m.
 func MeanRows(m *Matrix) *Matrix {
-	out := SumRows(m)
-	if m.Rows > 0 {
-		out.ScaleInPlace(1 / float64(m.Rows))
-	}
+	out := New(1, m.Cols)
+	MeanRowsInto(out, m)
 	return out
 }
 
 // VarRows returns a 1×Cols row vector with the (biased) column variances of
 // m around the provided mean row vector.
 func VarRows(m, mean *Matrix) *Matrix {
-	if mean.Rows != 1 || mean.Cols != m.Cols {
-		panic("tensor: varRows mean shape mismatch")
-	}
 	out := New(1, m.Cols)
-	if m.Rows == 0 {
-		return out
-	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, x := range row {
-			d := x - mean.Data[j]
-			out.Data[j] += d * d
-		}
-	}
-	out.ScaleInPlace(1 / float64(m.Rows))
+	VarRowsInto(out, m, mean)
 	return out
 }
 
@@ -303,9 +261,7 @@ func ConcatRows(a, b *Matrix) *Matrix {
 // indices, in order.
 func SelectRows(m *Matrix, idx []int) *Matrix {
 	out := New(len(idx), m.Cols)
-	for i, r := range idx {
-		copy(out.Row(i), m.Row(r))
-	}
+	SelectRowsInto(out, m, idx)
 	return out
 }
 

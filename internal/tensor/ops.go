@@ -6,25 +6,7 @@ import "math"
 // returning a fresh slice.
 func SoftmaxRow(row []float64) []float64 {
 	out := make([]float64, len(row))
-	if len(row) == 0 {
-		return out
-	}
-	max := row[0]
-	for _, v := range row[1:] {
-		if v > max {
-			max = v
-		}
-	}
-	var sum float64
-	for i, v := range row {
-		e := math.Exp(v - max)
-		out[i] = e
-		sum += e
-	}
-	inv := 1 / sum
-	for i := range out {
-		out[i] *= inv
-	}
+	SoftmaxRowInto(out, row)
 	return out
 }
 
@@ -32,7 +14,7 @@ func SoftmaxRow(row []float64) []float64 {
 func Softmax(m *Matrix) *Matrix {
 	out := New(m.Rows, m.Cols)
 	for i := 0; i < m.Rows; i++ {
-		copy(out.Row(i), SoftmaxRow(m.Row(i)))
+		SoftmaxRowInto(out.Row(i), m.Row(i))
 	}
 	return out
 }

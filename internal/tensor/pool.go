@@ -1,0 +1,44 @@
+package tensor
+
+// Pool recycles scratch matrices, keyed by element count, so hot paths with
+// varying batch shapes (trainer mini-batches, replay concatenation) can
+// borrow and return buffers without steady-state heap allocation.
+//
+// A Pool is NOT safe for concurrent use: it is designed to be owned by one
+// session (one core.System / one Trainer) and never shared across
+// goroutines. The Fleet gives every session its own workspace; the -race CI
+// run guards that invariant.
+type Pool struct {
+	free map[int][]*Matrix
+}
+
+// NewPool returns an empty pool. The zero value is also ready to use.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed rows×cols matrix, reusing a previously Put buffer of
+// the same element count when one is free.
+func (p *Pool) Get(rows, cols int) *Matrix {
+	n := rows * cols
+	if bucket := p.free[n]; len(bucket) > 0 {
+		m := bucket[len(bucket)-1]
+		p.free[n] = bucket[:len(bucket)-1]
+		m.Rows, m.Cols = rows, cols
+		m.Zero()
+		return m
+	}
+	return New(rows, cols)
+}
+
+// Put returns a matrix to the pool for reuse. The caller must not touch m
+// (or any slice of its Data) afterwards; ownership transfers to the pool.
+// Put(nil) is a no-op.
+func (p *Pool) Put(m *Matrix) {
+	if m == nil || len(m.Data) == 0 {
+		return
+	}
+	if p.free == nil {
+		p.free = make(map[int][]*Matrix)
+	}
+	n := len(m.Data)
+	p.free[n] = append(p.free[n], m)
+}

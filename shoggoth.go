@@ -84,6 +84,12 @@ type (
 	// LabeledRegion is one training sample (Strategy.OnTrainDue).
 	LabeledRegion = detect.LabeledRegion
 
+	// PerfCounters are the per-session workspace counters: wall-clock
+	// inference and training throughput, diagnostics-only (never part of
+	// Results). Read them from Session.System().Workspace().Perf, or
+	// aggregate across a Fleet via Fleet.Perf.
+	PerfCounters = detect.PerfCounters
+
 	// SessionRecord logs one adaptive-training session.
 	SessionRecord = core.SessionRecord
 	// RatePoint is one sampling-rate command over time.
