@@ -1,0 +1,140 @@
+package shoggoth
+
+import (
+	"context"
+	"fmt"
+
+	"shoggoth/internal/cloud"
+	"shoggoth/internal/core"
+	"shoggoth/internal/sim"
+)
+
+// CloudStats summarises a shared labeling service's queue behaviour:
+// batches served and dropped, queueing delay, teacher busy time.
+type CloudStats = cloud.QueueStats
+
+// ClusterResults aggregates an N-device shared-cloud run: one Results per
+// device (in device order, each carrying its own queue-delay metrics) plus
+// the service-wide queue statistics.
+type ClusterResults struct {
+	Devices []*Results `json:"devices"`
+	Cloud   CloudStats `json:"cloud"`
+}
+
+// Utilization returns the teacher's offered load: busy seconds over the
+// played duration (0 for an empty run). Values above 1 are meaningful —
+// service admitted near the end runs past the horizon, so >100% says the
+// cluster offered more labeling work than one teacher could absorb and a
+// backlog remained when the run ended.
+func (r *ClusterResults) Utilization() float64 {
+	var end float64
+	for _, d := range r.Devices {
+		if d.Duration > end {
+			end = d.Duration
+		}
+	}
+	if end <= 0 {
+		return 0
+	}
+	return r.Cloud.BusySeconds / end
+}
+
+// Cluster runs N edge deployments against ONE shared cloud labeling
+// service inside a single virtual-time scheduler — the paper's setting of
+// a fleet of cameras multiplexed onto one teacher. Devices genuinely
+// contend: every uploaded batch serialises on the shared teacher pipeline,
+// so queueing delay shows up in label latency and each device's rate
+// commands reflect cluster load, not just its own stream.
+//
+// Where a Fleet runs independent sessions concurrently (isolated clouds,
+// wall-clock parallelism), a Cluster runs coupled sessions on one clock;
+// with a single device it reproduces a Session bit for bit. The zero value
+// is ready to use.
+type Cluster struct {
+	// QueueCap bounds the shared labeling queue (batches in service plus
+	// waiting); an arriving batch finding it full is dropped. 0 means
+	// unbounded.
+	QueueCap int
+	// Cache, when set, shares pretrained students with other runners; nil
+	// uses a cluster-private cache.
+	Cache *StudentCache
+	// Perf, when set, accumulates every device's workspace counters
+	// (wall-clock inference and training throughput) after the run —
+	// diagnostics only, never part of Results.
+	Perf *PerfCounters
+
+	own StudentCache
+}
+
+// Run steps every device's stream to completion against the shared cloud
+// and returns per-device plus aggregate results. Each config is one device;
+// empty DeviceIDs default to "edge-<i+1>". All devices must share one
+// DurationSec: the cluster has a single virtual timeline, and a device
+// leaving it early would still see cloud/training events executed past its
+// own end while the others play on. Runs are deterministic: a fixed config
+// list (seeds included) yields identical ClusterResults.
+func (c *Cluster) Run(ctx context.Context, cfgs []Config) (*ClusterResults, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("shoggoth: cluster needs at least one device config")
+	}
+	for i := range cfgs {
+		if cfgs[i].DurationSec != cfgs[0].DurationSec {
+			return nil, fmt.Errorf("shoggoth: cluster devices must share one duration: device %d has %gs, device 0 has %gs",
+				i, cfgs[i].DurationSec, cfgs[0].DurationSec)
+		}
+	}
+	cache := c.Cache
+	if cache == nil {
+		cache = &c.own
+	}
+
+	sched := sim.NewScheduler()
+	svc := cloud.NewService(cloud.ServiceConfig{QueueCap: c.QueueCap})
+	sessions := make([]*core.System, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cfg.DeviceID == "" {
+			cfg.DeviceID = fmt.Sprintf("edge-%d", i+1)
+		}
+		defaultPretrained(&cfg, cache)
+		sys, err := core.NewSystemOpts(cfg, core.SystemOptions{Scheduler: sched, Cloud: svc})
+		if err != nil {
+			return nil, fmt.Errorf("shoggoth: cluster device %d: %w", i, err)
+		}
+		sessions[i] = sys
+	}
+
+	// Step devices in global frame-time order (ties break by device index,
+	// so simultaneous frames replay identically run to run). Each Step
+	// advances the ONE shared scheduler, executing every device's due
+	// cloud/network/training events along the way.
+	for steps := 0; ; steps++ {
+		if steps&0xFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		best, bestT := -1, 0.0
+		for i := range sessions {
+			if t, ok := sessions[i].NextFrameTime(); ok && (best < 0 || t < bestT) {
+				best, bestT = i, t
+			}
+		}
+		if best < 0 {
+			break
+		}
+		sessions[best].Step()
+	}
+
+	out := &ClusterResults{Devices: make([]*Results, len(sessions))}
+	for i, sys := range sessions {
+		out.Devices[i] = sys.Finish()
+		if c.Perf != nil {
+			c.Perf.Add(sys.Workspace().Perf)
+		}
+	}
+	out.Cloud = svc.Stats()
+	return out, nil
+}

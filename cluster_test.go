@@ -1,0 +1,191 @@
+package shoggoth_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"shoggoth"
+)
+
+func encodeJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestClusterSingleDeviceMatchesSession locks the Cluster's golden
+// guarantee: one device stepped through a shared scheduler and shared cloud
+// service must reproduce the classic single-Session path bit for bit.
+func TestClusterSingleDeviceMatchesSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment run is seconds-long; skipped with -short")
+	}
+	profile, err := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shoggoth.NewConfig(shoggoth.Shoggoth, profile,
+		shoggoth.WithSeed(1), shoggoth.WithDuration(180))
+	cfg.DeviceID = "edge-1"
+	cfg.Pretrained = shoggoth.PretrainedStudent(profile)
+
+	single, err := shoggoth.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := (&shoggoth.Cluster{}).Run(context.Background(), []shoggoth.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cluster.Devices) != 1 {
+		t.Fatalf("want 1 device result, got %d", len(cluster.Devices))
+	}
+	if got, want := encodeJSON(t, cluster.Devices[0]), encodeJSON(t, single); !bytes.Equal(got, want) {
+		t.Fatalf("1-device Cluster diverged from the Session path:\ncluster: %s\nsession: %s", got, want)
+	}
+	if cluster.Cloud.Batches != single.CloudBatches {
+		t.Fatalf("cloud aggregate batches %d != device batches %d",
+			cluster.Cloud.Batches, single.CloudBatches)
+	}
+}
+
+// clusterConfigs builds n same-profile shoggoth devices. Identical seeds
+// make every device's stream (and so its upload times) coincide — the
+// worst-case contention pattern, and a deterministic one.
+func clusterConfigs(t *testing.T, n int, sameSeed bool, duration float64) []shoggoth.Config {
+	t.Helper()
+	profile, err := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := shoggoth.PretrainedStudent(profile)
+	cfgs := make([]shoggoth.Config, n)
+	for i := range cfgs {
+		seed := uint64(1)
+		if !sameSeed {
+			seed = uint64(i + 1)
+		}
+		cfgs[i] = shoggoth.NewConfig(shoggoth.Shoggoth, profile,
+			shoggoth.WithSeed(seed), shoggoth.WithDuration(duration))
+		cfgs[i].Pretrained = pre
+	}
+	return cfgs
+}
+
+// TestClusterDeterministic: a fixed config list yields identical
+// ClusterResults run to run, devices' coupling included.
+func TestClusterDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment run is seconds-long; skipped with -short")
+	}
+	cfgs := clusterConfigs(t, 3, false, 120)
+	first, err := (&shoggoth.Cluster{}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := (&shoggoth.Cluster{}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := encodeJSON(t, first), encodeJSON(t, second); !bytes.Equal(a, b) {
+		t.Fatal("two identical Cluster runs produced different ClusterResults")
+	}
+}
+
+// TestClusterContention: N same-seed devices upload simultaneously, so all
+// but the first batch at each arrival instant must queue behind the shared
+// teacher — per-device queueing delay has to surface under load.
+func TestClusterContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment run is seconds-long; skipped with -short")
+	}
+	cfgs := clusterConfigs(t, 3, true, 120)
+	res, err := (&shoggoth.Cluster{}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cloud.Batches == 0 {
+		t.Fatal("no batches reached the shared cloud")
+	}
+	if res.Cloud.QueueDelayMaxSec <= 0 {
+		t.Fatal("simultaneous uploads produced zero queueing delay")
+	}
+	var devBatches, delayed int
+	for i, d := range res.Devices {
+		devBatches += d.CloudBatches
+		if d.CloudQueueDelayMaxSec > 0 {
+			delayed++
+		}
+		if want := "edge-" + string(rune('1'+i)); d.Device != want {
+			t.Fatalf("device %d named %q, want %q", i, d.Device, want)
+		}
+	}
+	if devBatches != res.Cloud.Batches {
+		t.Fatalf("per-device batches %d don't sum to aggregate %d", devBatches, res.Cloud.Batches)
+	}
+	// With ties broken by device index, at least the later devices queue.
+	if delayed < 2 {
+		t.Fatalf("want ≥2 devices with queueing delay, got %d", delayed)
+	}
+	if res.Utilization() <= 0 {
+		t.Fatal("teacher utilization should be positive")
+	}
+}
+
+// TestClusterQueueCapDrops: with a one-batch queue and simultaneous
+// arrivals, the collided batches must be dropped, not served late.
+func TestClusterQueueCapDrops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment run is seconds-long; skipped with -short")
+	}
+	cfgs := clusterConfigs(t, 3, true, 120)
+	res, err := (&shoggoth.Cluster{QueueCap: 1}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cloud.DroppedBatches == 0 {
+		t.Fatal("QueueCap=1 with simultaneous uploads should drop batches")
+	}
+	var devDrops int
+	for _, d := range res.Devices {
+		devDrops += d.CloudDroppedBatches
+	}
+	if devDrops != res.Cloud.DroppedBatches {
+		t.Fatalf("per-device drops %d don't sum to aggregate %d", devDrops, res.Cloud.DroppedBatches)
+	}
+	if res.Cloud.QueueDelayMaxSec > 0 {
+		// Every admitted batch found an idle-or-just-freed teacher (cap 1 =
+		// at most the in-service batch outstanding), so served batches can
+		// still queue behind an unfinished one only via busyUntil.
+		t.Logf("note: admitted batches queued %.3fs behind in-service work", res.Cloud.QueueDelayMaxSec)
+	}
+}
+
+// TestClusterDuplicateDeviceIDRejected: two devices may never alias one
+// cloud-side φ stream.
+func TestClusterDuplicateDeviceIDRejected(t *testing.T) {
+	cfgs := clusterConfigs(t, 2, false, 30)
+	cfgs[0].DeviceID = "cam"
+	cfgs[1].DeviceID = "cam"
+	if _, err := (&shoggoth.Cluster{}).Run(context.Background(), cfgs); err == nil {
+		t.Fatal("duplicate device ids must be rejected")
+	}
+}
+
+// TestClusterMixedDurationsRejected: the cluster timeline is shared, so a
+// device with a shorter duration would keep seeing cloud/training events
+// past its own end; mixed durations are a config error.
+func TestClusterMixedDurationsRejected(t *testing.T) {
+	cfgs := clusterConfigs(t, 2, false, 30)
+	cfgs[1].DurationSec = 60
+	if _, err := (&shoggoth.Cluster{}).Run(context.Background(), cfgs); err == nil {
+		t.Fatal("mixed per-device durations must be rejected")
+	}
+}

@@ -36,9 +36,11 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("pretraining student for %s…", profile.Name)
-	rng := rand.New(rand.NewPCG(profile.Seed, 3))
-	student := detect.NewPretrainedStudent(profile, rng)
-	trainer := detect.NewTrainer(student, detect.DefaultTrainerConfig(), rng)
+	// The canonical offline pretraining path: a live edge deploys exactly
+	// the model the simulation's deployments start from. The trainer gets
+	// the same seed stream the sim's edge trainers use (run seed, stream 4).
+	student := detect.DefaultPretrainedStudent(profile)
+	trainer := detect.NewTrainer(student, detect.DefaultTrainerConfig(), rand.New(rand.NewPCG(*seed, 4)))
 	sampler := edge.NewSampler(0.5)
 	client := rpc.NewClient(*cloudURL, *device)
 

@@ -6,6 +6,13 @@
 //
 //	shoggoth-sim -profile ua-detrac -strategy shoggoth -duration 1440 -seed 1
 //	shoggoth-sim -profile kitti -strategy all -cycles 1 -json
+//
+// With -devices N (cluster mode) it instead runs N edge devices — seeds
+// seed..seed+N-1 — against ONE shared cloud labeling service on a single
+// virtual clock, reporting per-device results plus the shared queue's
+// contention statistics:
+//
+//	shoggoth-sim -profile ua-detrac -strategy shoggoth -devices 8 -queue-cap 4
 package main
 
 import (
@@ -31,6 +38,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "run seed")
 	rate := flag.Float64("rate", 0, "fixed sampling rate in fps (0 = strategy default)")
 	workers := flag.Int("workers", 0, "concurrent sessions for -strategy all (0 = GOMAXPROCS)")
+	devices := flag.Int("devices", 1, "edge devices sharing one cloud labeling service (cluster mode when > 1)")
+	queueCap := flag.Int("queue-cap", 0, "cloud labeling queue capacity in batches (0 = unbounded)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
 	verbose := flag.Bool("v", false, "print a wall-clock perf summary from the per-session workspace counters")
 	flag.Parse()
@@ -45,14 +54,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := []shoggoth.Option{shoggoth.WithSeed(*seed), shoggoth.WithCycles(*cycles)}
-	if *duration > 0 {
-		opts = append(opts, shoggoth.WithDuration(*duration))
+	baseOpts := func(seed uint64) []shoggoth.Option {
+		opts := []shoggoth.Option{shoggoth.WithSeed(seed), shoggoth.WithCycles(*cycles)}
+		if *duration > 0 {
+			opts = append(opts, shoggoth.WithDuration(*duration))
+		}
+		if *rate > 0 {
+			opts = append(opts, shoggoth.WithFixedRate(*rate))
+		}
+		return opts
 	}
-	if *rate > 0 {
-		opts = append(opts, shoggoth.WithFixedRate(*rate))
+
+	if *devices > 1 {
+		if len(kinds) != 1 {
+			log.Fatal("-devices needs a single -strategy (not \"all\")")
+		}
+		runCluster(profile, kinds[0], *devices, *queueCap, *seed, baseOpts, *asJSON, *verbose)
+		return
 	}
-	cfgs := shoggoth.Grid([]*shoggoth.Profile{profile}, kinds, opts...)
+
+	cfgs := shoggoth.Grid([]*shoggoth.Profile{profile}, kinds, baseOpts(*seed)...)
+	for i := range cfgs {
+		cfgs[i].CloudQueueCap = *queueCap
+	}
 
 	// The fleet bounds concurrency and pretrains one student per profile,
 	// so every strategy deploys the identical model.
@@ -88,6 +112,54 @@ func main() {
 		fmt.Printf("%-11s %8.1f%% %9.3f %9.0f %8.0f %9.1f %9d %9d\n",
 			r.Strategy, r.MAP50*100, r.AvgIoU, r.UpKbps, r.DownKbps, r.AvgFPS, r.Sessions, r.SampledFrames)
 	}
+}
+
+// runCluster steps N devices against one shared cloud labeling service and
+// prints per-device results plus the queue's contention statistics.
+func runCluster(profile *shoggoth.Profile, kind shoggoth.StrategyKind, devices, queueCap int,
+	seed uint64, baseOpts func(seed uint64) []shoggoth.Option, asJSON, verbose bool) {
+
+	cfgs := make([]shoggoth.Config, devices)
+	for i := range cfgs {
+		cfgs[i] = shoggoth.NewConfig(kind, profile, baseOpts(seed+uint64(i))...)
+		cfgs[i].DeviceID = fmt.Sprintf("edge-%d", i+1)
+	}
+	cluster := &shoggoth.Cluster{QueueCap: queueCap}
+	if verbose {
+		cluster.Perf = &shoggoth.PerfCounters{}
+	}
+	res, err := cluster.Run(context.Background(), cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if verbose {
+		pc := cluster.Perf
+		fmt.Fprintf(os.Stderr,
+			"perf: %d frames inferred at %.0f frames/s wall, %d train steps at %.0f steps/s wall (%d sessions)\n",
+			pc.InferFrames, pc.InferFPS(), pc.TrainSteps, pc.TrainStepsPerSec(), pc.TrainSessions)
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("profile=%s strategy=%s devices=%d duration=%.0fs seeds=%d..%d queue-cap=%d\n\n",
+		profile.Name, kind, devices, res.Devices[0].Duration, seed, seed+uint64(devices)-1, queueCap)
+	fmt.Printf("%-8s %9s %9s %8s %9s %9s %9s %10s %10s\n",
+		"device", "mAP@0.5", "up Kbps", "fps", "sessions", "batches", "dropped", "qdelay(s)", "qmax(s)")
+	for _, r := range res.Devices {
+		fmt.Printf("%-8s %8.1f%% %9.0f %8.1f %9d %9d %9d %10.3f %10.3f\n",
+			r.Device, r.MAP50*100, r.UpKbps, r.AvgFPS, r.Sessions,
+			r.CloudBatches, r.CloudDroppedBatches, r.CloudQueueDelayMeanSec, r.CloudQueueDelayMaxSec)
+	}
+	c := res.Cloud
+	fmt.Printf("\ncloud: %d batches (%d dropped), queue delay mean %.3fs max %.3fs, teacher busy %.1fs (%.1f%% utilization)\n",
+		c.Batches, c.DroppedBatches, c.QueueDelayMeanSec, c.QueueDelayMaxSec,
+		c.BusySeconds, res.Utilization()*100)
 }
 
 func parseStrategies(name string) ([]shoggoth.StrategyKind, error) {

@@ -35,14 +35,16 @@ func main() {
 	cloudURL := "http://" + ln.Addr().String()
 	fmt.Println("cloud labeling service listening on", cloudURL)
 
-	// Edge side: pretrained student + latent-replay trainer + sampler.
-	rng := rand.New(rand.NewPCG(profile.Seed, 3))
-	student := detect.NewPretrainedStudent(profile, rng)
-	trainer := detect.NewTrainer(student, detect.DefaultTrainerConfig(), rng)
+	// Edge side: the canonical offline-pretrained student (exactly the
+	// model the simulation deploys), a latent-replay trainer seeded like
+	// the sim's edge trainers (run seed, stream 4), and the sampler.
+	const runSeed = 1
+	student := detect.DefaultPretrainedStudent(profile)
+	trainer := detect.NewTrainer(student, detect.DefaultTrainerConfig(), rand.New(rand.NewPCG(runSeed, 4)))
 	sampler := edge.NewSampler(0.5)
 	client := rpc.NewClient(cloudURL, "edge-demo-1")
 
-	stream := video.NewStream(profile, 1)
+	stream := video.NewStream(profile, runSeed)
 	col := metrics.NewCollector()
 	var alphaAcc metrics.Running
 	var buffer []video.Frame

@@ -51,6 +51,18 @@ func (c *StudentCache) Get(p *Profile) *detect.Student {
 	return c.students[p.Name]
 }
 
+// defaultPretrained fills cfg.Pretrained from the cache when the strategy
+// deploys a student — the one rule both Fleet and Cluster apply, so every
+// runner hands identical models to identical configs.
+func defaultPretrained(cfg *Config, cache *StudentCache) {
+	if cfg.Pretrained != nil || cfg.Profile == nil {
+		return
+	}
+	if d, ok := core.Lookup(cfg.Kind); ok && d.Traits.Student {
+		cfg.Pretrained = cache.Get(cfg.Profile)
+	}
+}
+
 // Job is one session a Fleet runs: a config plus an optional per-session
 // observer.
 type Job struct {
@@ -118,13 +130,7 @@ func (f *Fleet) RunJobs(ctx context.Context, jobs []Job) ([]*Results, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		job := &jobs[i]
-		if job.Config.Pretrained != nil || job.Config.Profile == nil {
-			continue
-		}
-		if d, ok := core.Lookup(job.Config.Kind); ok && d.Traits.Student {
-			job.Config.Pretrained = cache.Get(job.Config.Profile)
-		}
+		defaultPretrained(&jobs[i].Config, cache)
 	}
 
 	ctx, cancel := context.WithCancel(ctx)

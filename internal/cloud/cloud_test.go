@@ -177,3 +177,149 @@ func sanitize(v float64) float64 {
 	}
 	return math.Mod(v, 10)
 }
+
+func serviceFrames(t *testing.T, n int) []*video.Frame {
+	t.Helper()
+	p := video.DETRACProfile()
+	stream := video.NewStream(p, 1)
+	out := make([]*video.Frame, 0, n)
+	for i := 0; len(out) < n; i++ {
+		f := stream.Next()
+		if i%15 == 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func newServiceDevice(t *testing.T, svc *Service, id string, seed uint64, withCtrl bool) *ServiceDevice {
+	t.Helper()
+	p := video.DETRACProfile()
+	teacher := detect.NewTeacher(p, rand.New(rand.NewPCG(seed, 2)))
+	var ccfg *ControllerConfig
+	if withCtrl {
+		c := DefaultControllerConfig()
+		ccfg = &c
+	}
+	d, err := svc.Register(id, teacher, DefaultLabelerConfig(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestServiceSerialisesSharedTeacher: batches from different devices queue
+// on the one teacher pipeline; a batch arriving mid-service starts when the
+// previous one finishes, and the delay is attributed to the right device.
+func TestServiceSerialisesSharedTeacher(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	a := newServiceDevice(t, svc, "a", 1, true)
+	b := newServiceDevice(t, svc, "b", 2, true)
+	frames := serviceFrames(t, 5)
+	lat := DefaultLabelerConfig().TeacherLatencySec
+
+	ra := a.Label(frames, 10)
+	if ra.QueueDelaySec != 0 || ra.Start != 10 {
+		t.Fatalf("idle service must start immediately: %+v", ra)
+	}
+	if want := 10 + 5*lat; math.Abs(ra.Done-want) > 1e-12 {
+		t.Fatalf("done %v, want %v", ra.Done, want)
+	}
+	rb := b.Label(frames, 10.01) // arrives while a's batch is in service
+	if rb.Start != ra.Done {
+		t.Fatalf("contending batch must wait: start %v, want %v", rb.Start, ra.Done)
+	}
+	if math.Abs(rb.QueueDelaySec-(ra.Done-10.01)) > 1e-12 {
+		t.Fatalf("queue delay %v, want %v", rb.QueueDelaySec, ra.Done-10.01)
+	}
+	if got := svc.Stats(); got.Batches != 2 || got.QueueDelayMaxSec != rb.QueueDelaySec {
+		t.Fatalf("aggregate stats wrong: %+v", got)
+	}
+	if a.Stats().QueueDelayMaxSec != 0 || b.Stats().QueueDelayMaxSec != rb.QueueDelaySec {
+		t.Fatal("delay attributed to the wrong device")
+	}
+}
+
+// TestServiceQueueCapDrops: with QueueCap outstanding batches, a further
+// arrival is dropped — no labels, no φ, counted per device.
+func TestServiceQueueCapDrops(t *testing.T) {
+	svc := NewService(ServiceConfig{QueueCap: 1})
+	a := newServiceDevice(t, svc, "a", 1, true)
+	b := newServiceDevice(t, svc, "b", 2, true)
+	frames := serviceFrames(t, 5)
+
+	ra := a.Label(frames, 0)
+	if ra.Dropped {
+		t.Fatal("first batch must be admitted")
+	}
+	rb := b.Label(frames, 0.01) // the first batch is still outstanding
+	if !rb.Dropped || rb.Labels != nil {
+		t.Fatalf("over-cap batch must be dropped: %+v", rb)
+	}
+	if got := b.Stats().DroppedBatches; got != 1 {
+		t.Fatalf("device b drops = %d, want 1", got)
+	}
+	// After the first batch completes, capacity frees up again.
+	rb2 := b.Label(frames, ra.Done+0.01)
+	if rb2.Dropped {
+		t.Fatal("batch after the queue drained must be admitted")
+	}
+	if got := svc.Stats(); got.Batches != 2 || got.DroppedBatches != 1 {
+		t.Fatalf("aggregate stats wrong: %+v", got)
+	}
+}
+
+// TestServicePerDevicePhiContinuity: each device's φ stream compares
+// against its own previous batch, not against other devices' frames.
+func TestServicePerDevicePhiContinuity(t *testing.T) {
+	shared := NewService(ServiceConfig{})
+	a := newServiceDevice(t, shared, "a", 1, false)
+	newServiceDevice(t, shared, "b", 2, false).Label(serviceFrames(t, 3), 0)
+
+	private := NewService(ServiceConfig{})
+	solo := newServiceDevice(t, private, "solo", 1, false)
+
+	frames := serviceFrames(t, 6)
+	for i := 0; i < 2; i++ {
+		got := a.Label(frames[i*3:(i+1)*3], float64(100*i))
+		want := solo.Label(frames[i*3:(i+1)*3], float64(100*i))
+		for j := range got.Phis {
+			if got.Phis[j] != want.Phis[j] {
+				t.Fatalf("φ stream polluted by another device: batch %d frame %d: %v != %v",
+					i, j, got.Phis[j], want.Phis[j])
+			}
+		}
+	}
+}
+
+// TestServiceDuplicateRegistrationRejected: device ids key φ continuity and
+// controller state; aliasing two deployments would corrupt both.
+func TestServiceDuplicateRegistrationRejected(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	newServiceDevice(t, svc, "cam", 1, true)
+	p := video.DETRACProfile()
+	teacher := detect.NewTeacher(p, rand.New(rand.NewPCG(9, 2)))
+	if _, err := svc.Register("cam", teacher, DefaultLabelerConfig(), nil); err == nil {
+		t.Fatal("duplicate device id must be rejected")
+	}
+	if svc.Devices() != 1 {
+		t.Fatalf("registry size %d, want 1", svc.Devices())
+	}
+}
+
+// TestServiceDeviceWithoutController: non-adaptive devices label fine and
+// report no rate.
+func TestServiceDeviceWithoutController(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	d := newServiceDevice(t, svc, "fixed", 1, false)
+	if d.Adaptive() {
+		t.Fatal("device registered without a controller reports Adaptive")
+	}
+	if r, ok := d.UpdateRate(0.5, 0.5, 0.5); ok || r != 0 {
+		t.Fatalf("UpdateRate without a controller: %v %v", r, ok)
+	}
+	res := d.Label(serviceFrames(t, 2), 0)
+	if res.Dropped || len(res.Labels) != 2 {
+		t.Fatalf("labeling failed without controller: %+v", res)
+	}
+}

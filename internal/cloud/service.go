@@ -1,0 +1,211 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+
+	"shoggoth/internal/detect"
+	"shoggoth/internal/metrics"
+	"shoggoth/internal/video"
+)
+
+// ServiceConfig shapes the shared labeling service.
+type ServiceConfig struct {
+	// QueueCap bounds the number of label batches outstanding (in service
+	// plus waiting) at any virtual instant; a batch arriving at a full
+	// queue is dropped (no labels, no rate command). 0 means unbounded.
+	QueueCap int
+}
+
+// QueueStats is a snapshot of labeling-queue behaviour, either for the
+// whole service or for one device. Delays are the time a batch waited
+// between arrival and the teacher starting on it.
+type QueueStats struct {
+	// Batches is the number of label batches admitted and served.
+	Batches int `json:"batches"`
+	// DroppedBatches counts batches rejected at a full queue.
+	DroppedBatches int `json:"dropped_batches"`
+	// QueueDelayMeanSec is the mean queueing delay of served batches.
+	QueueDelayMeanSec float64 `json:"queue_delay_mean_sec"`
+	// QueueDelayMaxSec is the worst queueing delay of any served batch.
+	QueueDelayMaxSec float64 `json:"queue_delay_max_sec"`
+	// BusySeconds is total teacher inference time consumed.
+	BusySeconds float64 `json:"busy_seconds"`
+}
+
+type queueAccum struct {
+	batches  int
+	dropped  int
+	delay    metrics.Running
+	delayMax float64
+	busySec  float64
+}
+
+func (a *queueAccum) admit(delay, service float64) {
+	a.batches++
+	a.delay.Add(delay)
+	if delay > a.delayMax {
+		a.delayMax = delay
+	}
+	a.busySec += service
+}
+
+func (a *queueAccum) snapshot() QueueStats {
+	return QueueStats{
+		Batches:           a.batches,
+		DroppedBatches:    a.dropped,
+		QueueDelayMeanSec: a.delay.Mean(),
+		QueueDelayMaxSec:  a.delayMax,
+		BusySeconds:       a.busySec,
+	}
+}
+
+// Service is one shared cloud labeling service multiplexed across many edge
+// devices, in virtual time: a single teacher-inference pipeline (batches
+// from all devices serialise on it, so contention shows up as queueing
+// delay) with per-device labeling state and sampling-rate controllers.
+//
+// A Service is driven from one virtual-time event loop and is not safe for
+// concurrent use; the real-network mirror of this design is rpc.Server,
+// which replaces the shared virtual clock with per-device locks.
+type Service struct {
+	cfg       ServiceConfig
+	busyUntil float64
+	// outstanding holds completion times of admitted batches; entries ≤ now
+	// have left the system. Its live length is the queue occupancy.
+	outstanding []float64
+	agg         queueAccum
+	devices     map[string]*ServiceDevice
+}
+
+// NewService creates an empty labeling service.
+func NewService(cfg ServiceConfig) *Service {
+	return &Service{cfg: cfg, devices: make(map[string]*ServiceDevice)}
+}
+
+// ServiceDevice is one registered edge device's cloud-side state: its own
+// labeler (φ continuity) and optional sampling-rate controller, sharing the
+// service's teacher capacity with every other device.
+type ServiceDevice struct {
+	svc     *Service
+	id      string
+	labeler *Labeler
+	ctrl    *Controller
+	acc     queueAccum
+}
+
+// Register adds a device to the service. Each device brings its own teacher
+// (its error stream) and labeler configuration; ctrlCfg non-nil attaches a
+// per-device sampling-rate controller. Duplicate ids are rejected so two
+// deployments can never alias one φ stream.
+func (s *Service) Register(id string, teacher *detect.Teacher, labelerCfg LabelerConfig, ctrlCfg *ControllerConfig) (*ServiceDevice, error) {
+	if _, dup := s.devices[id]; dup {
+		return nil, fmt.Errorf("cloud: device %q already registered", id)
+	}
+	d := &ServiceDevice{svc: s, id: id, labeler: NewLabeler(teacher, labelerCfg)}
+	if ctrlCfg != nil {
+		d.ctrl = NewController(*ctrlCfg)
+	}
+	s.devices[id] = d
+	return d, nil
+}
+
+// Devices returns the number of registered devices.
+func (s *Service) Devices() int { return len(s.devices) }
+
+// Stats returns the service-wide queue statistics.
+func (s *Service) Stats() QueueStats { return s.agg.snapshot() }
+
+// BatchResult is the outcome of one uploaded sample batch.
+type BatchResult struct {
+	// Labels holds one teacher label set per admitted frame (nil if the
+	// batch was dropped).
+	Labels [][]detect.TeacherLabel
+	// Phis are the per-frame φ label-change losses, in frame order.
+	Phis []float64
+	// PhiMean is the mean φ over the batch.
+	PhiMean float64
+	// Start is when the teacher began on the batch (arrival plus queueing).
+	Start float64
+	// Done is when labeling finished: Start plus teacher service time.
+	Done float64
+	// QueueDelaySec is Start minus arrival — the contention signal.
+	QueueDelaySec float64
+	// Dropped reports the batch was rejected at a full queue.
+	Dropped bool
+}
+
+// Label runs the teacher over one uploaded batch arriving at virtual time
+// now. Batches from all devices serialise on the shared pipeline: service
+// begins at max(now, busyUntil), so the queueing delay of an N-device
+// deployment emerges here. With a finite QueueCap a batch arriving while
+// QueueCap batches are still outstanding is dropped.
+func (d *ServiceDevice) Label(frames []*video.Frame, now float64) BatchResult {
+	s := d.svc
+	live := s.outstanding[:0]
+	for _, done := range s.outstanding {
+		if done > now {
+			live = append(live, done)
+		}
+	}
+	s.outstanding = live
+	if s.cfg.QueueCap > 0 && len(s.outstanding) >= s.cfg.QueueCap {
+		d.acc.dropped++
+		s.agg.dropped++
+		return BatchResult{Dropped: true}
+	}
+
+	start := math.Max(now, s.busyUntil)
+	labels := make([][]detect.TeacherLabel, len(frames))
+	phis := make([]float64, len(frames))
+	var service float64
+	var phi metrics.Running
+	for i, f := range frames {
+		res := d.labeler.LabelFrame(f)
+		labels[i] = res.Labels
+		service += res.ServiceSec
+		phi.Add(res.Phi)
+		phis[i] = res.Phi
+	}
+	done := start + service
+	s.busyUntil = done
+	s.outstanding = append(s.outstanding, done)
+
+	delay := start - now
+	d.acc.admit(delay, service)
+	s.agg.admit(delay, service)
+	return BatchResult{
+		Labels:        labels,
+		Phis:          phis,
+		PhiMean:       phi.Mean(),
+		Start:         start,
+		Done:          done,
+		QueueDelaySec: delay,
+	}
+}
+
+// ID returns the device's registration id.
+func (d *ServiceDevice) ID() string { return d.id }
+
+// Adaptive reports whether this device has a sampling-rate controller.
+func (d *ServiceDevice) Adaptive() bool { return d.ctrl != nil }
+
+// Rate returns the controller's current sampling rate (0 without one).
+func (d *ServiceDevice) Rate() float64 {
+	if d.ctrl == nil {
+		return 0
+	}
+	return d.ctrl.Rate()
+}
+
+// UpdateRate feeds the device's controller one (φ̄, α, λ̄) report and
+// returns the new rate command; ok is false without a controller.
+func (d *ServiceDevice) UpdateRate(phiMean, alpha, lambda float64) (rate float64, ok bool) {
+	if d.ctrl == nil {
+		return 0, false
+	}
+	return d.ctrl.Update(phiMean, alpha, lambda), true
+}
+
+// Stats returns this device's queue statistics.
+func (d *ServiceDevice) Stats() QueueStats { return d.acc.snapshot() }

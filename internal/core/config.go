@@ -24,6 +24,17 @@ type Config struct {
 	DurationSec float64
 	Seed        uint64
 
+	// DeviceID names this deployment on its cloud labeling service. Empty
+	// is fine for a private (single-device) run; a Cluster requires unique
+	// ids so per-device cloud state never aliases.
+	DeviceID string
+
+	// CloudQueueCap bounds the cloud labeling queue (batches in service
+	// plus waiting); an arriving batch finding the queue full is dropped.
+	// 0 means unbounded. Ignored when the run joins a shared cloud
+	// service, whose own configuration wins.
+	CloudQueueCap int
+
 	// SampleRate fixes the frame sampling rate (fps). 0 means adaptive
 	// (the cloud controller drives it). Prompt uses the fixed maximum
 	// rate (2 fps); Table III sweeps fixed rates.

@@ -50,6 +50,18 @@ type Results struct {
 	FramesProcessed int `json:"frames_processed"`
 	FramesTotal     int `json:"frames_total"`
 	SampledFrames   int `json:"sampled_frames"`
+
+	// Device identifies this deployment on a shared cloud service (empty
+	// for a private single-device run).
+	Device string `json:"device,omitempty"`
+	// Cloud labeling-queue metrics for this device: batches served and
+	// dropped, and the queueing delay its uploads saw before the teacher
+	// started on them. On a shared service the delay is the contention
+	// signal — one cloud serving N devices.
+	CloudBatches           int     `json:"cloud_batches,omitempty"`
+	CloudDroppedBatches    int     `json:"cloud_dropped_batches,omitempty"`
+	CloudQueueDelayMeanSec float64 `json:"cloud_queue_delay_mean_sec,omitempty"`
+	CloudQueueDelayMaxSec  float64 `json:"cloud_queue_delay_max_sec,omitempty"`
 }
 
 // String renders a one-line summary.

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"math/rand/v2"
 	"time"
 
@@ -30,12 +29,15 @@ type System struct {
 
 	student *detect.Student
 	teacher *detect.Teacher
-	labeler *cloud.Labeler
-	ctrl    *cloud.Controller
 	device  *edge.Device
 	sampler *edge.Sampler
 
-	cloudBusy float64 // labeling service serialisation
+	// cloudSvc is the labeling service this deployment uploads to; private
+	// by default, shared across deployments under a Cluster. cloudDev is
+	// this device's registration on it (labeler φ continuity plus the
+	// optional sampling-rate controller).
+	cloudSvc *cloud.Service
+	cloudDev *cloud.ServiceDevice
 
 	usage     netsim.Usage
 	collector *metrics.Collector
@@ -67,18 +69,40 @@ func (c *Config) adaptive() bool {
 	return ok && d.Traits.Adaptive && c.SampleRate == 0
 }
 
+// SystemOptions injects shared infrastructure into a deployment. The zero
+// value gives the system a private scheduler and a private cloud service —
+// the classic one-edge-one-cloud run.
+type SystemOptions struct {
+	// Scheduler, when set, is the virtual-time event loop this deployment
+	// shares with others (a Cluster steps every device on one clock).
+	Scheduler *sim.Scheduler
+	// Cloud, when set, is a shared labeling service: this device registers
+	// on it and contends with every other registered device for teacher
+	// capacity.
+	Cloud *cloud.Service
+}
+
 // NewSystem builds a deployment for the config. If cfg.Pretrained is nil the
 // student is pretrained from the profile's offline dataset (deterministic in
 // the profile seed, so all strategies deploy the identical model).
 func NewSystem(cfg Config) (*System, error) {
+	return NewSystemOpts(cfg, SystemOptions{})
+}
+
+// NewSystemOpts is NewSystem with shared-infrastructure options.
+func NewSystemOpts(cfg Config, opts SystemOptions) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	desc, _ := Lookup(cfg.Kind) // Validate rejected unregistered kinds
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = sim.NewScheduler()
+	}
 	s := &System{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x51057E)),
-		sched:     sim.NewScheduler(),
+		sched:     sched,
 		collector: metrics.NewCollector(),
 		ws:        newWorkspace(),
 	}
@@ -86,8 +110,21 @@ func NewSystem(cfg Config) (*System, error) {
 	// The teacher is seeded from the run seed only, so every strategy on
 	// the same (profile, seed) sees identical teacher behaviour.
 	s.teacher = detect.NewTeacher(cfg.Profile, s.SeededRNG(2))
-	s.labeler = cloud.NewLabeler(s.teacher, cfg.Labeler)
 	s.device = edge.NewDevice(cfg.Device)
+
+	s.cloudSvc = opts.Cloud
+	if s.cloudSvc == nil {
+		s.cloudSvc = cloud.NewService(cloud.ServiceConfig{QueueCap: cfg.CloudQueueCap})
+	}
+	var ctrlCfg *cloud.ControllerConfig
+	if cfg.adaptive() {
+		ctrlCfg = &cfg.Controller
+	}
+	dev, err := s.cloudSvc.Register(cfg.DeviceID, s.teacher, cfg.Labeler, ctrlCfg)
+	if err != nil {
+		return nil, err
+	}
+	s.cloudDev = dev
 
 	if desc.Traits.Student {
 		if cfg.Pretrained != nil {
@@ -99,8 +136,7 @@ func NewSystem(cfg Config) (*System, error) {
 
 	rate := cfg.SampleRate
 	if cfg.adaptive() {
-		s.ctrl = cloud.NewController(cfg.Controller)
-		rate = s.ctrl.Rate()
+		rate = s.cloudDev.Rate()
 	}
 	s.sampler = edge.NewSampler(rate)
 
@@ -127,10 +163,10 @@ func (s *System) Run() (*Results, error) {
 // network and training event due before it) and reports whether frames
 // remain. Call Finish once it returns false.
 func (s *System) Step() bool {
-	if s.frameIdx >= s.nFrames || s.final != nil {
+	t, ok := s.NextFrameTime()
+	if !ok {
 		return false
 	}
-	t := float64(s.frameIdx) * s.dt
 	s.sched.AdvanceTo(t)
 	f := s.stream.Next()
 	s.results.FramesTotal++
@@ -181,6 +217,23 @@ func (s *System) Config() Config { return s.cfg }
 
 // Scheduler exposes the virtual-time event scheduler.
 func (s *System) Scheduler() *sim.Scheduler { return s.sched }
+
+// CloudService exposes the labeling service this deployment uploads to
+// (private by default; shared under a Cluster).
+func (s *System) CloudService() *cloud.Service { return s.cloudSvc }
+
+// CloudDevice exposes this deployment's registration on its cloud service.
+func (s *System) CloudDevice() *cloud.ServiceDevice { return s.cloudDev }
+
+// NextFrameTime returns the stream time of the next camera frame and
+// whether any frames remain — what a multi-device runner needs to step
+// deployments in global time order on a shared scheduler.
+func (s *System) NextFrameTime() (float64, bool) {
+	if s.frameIdx >= s.nFrames || s.final != nil {
+		return 0, false
+	}
+	return float64(s.frameIdx) * s.dt, true
+}
 
 // Device exposes the edge device model.
 func (s *System) Device() *edge.Device { return s.device }
@@ -273,27 +326,22 @@ func (s *System) flushBuffer(t float64) {
 
 // cloudReceive is the cloud's handler for an uploaded sample batch: online
 // labeling, φ computation and the controller update are shared substrate;
-// the labeled batch is then handed to the strategy's OnCloudBatch hook.
+// the labeled batch is then handed to the strategy's OnCloudBatch hook. On
+// a shared service the batch contends with every other device's uploads for
+// teacher capacity — and can be dropped outright at a full queue.
 func (s *System) cloudReceive(frames []*video.Frame, alpha, lambda, now float64) {
 	cfg := s.cfg
-	start := math.Max(now, s.cloudBusy)
-	labels := make([][]detect.TeacherLabel, len(frames))
-	var service float64
-	var phi metrics.Running
-	for i, f := range frames {
-		res := s.labeler.LabelFrame(f)
-		labels[i] = res.Labels
-		service += res.ServiceSec
-		phi.Add(res.Phi)
-		s.phiAll.Add(res.Phi)
+	batch := s.cloudDev.Label(frames, now)
+	if batch.Dropped {
+		return
 	}
-	done := start + service
-	s.cloudBusy = done
+	for _, p := range batch.Phis {
+		s.phiAll.Add(p)
+	}
 
-	if s.ctrl != nil {
-		rate := s.ctrl.Update(phi.Mean(), alpha, lambda)
+	if rate, ok := s.cloudDev.UpdateRate(batch.PhiMean, alpha, lambda); ok {
 		s.usage.AddDown(netsim.RateCommandBytes())
-		at := done + cfg.Downlink.TransferSeconds(netsim.RateCommandBytes())
+		at := batch.Done + cfg.Downlink.TransferSeconds(netsim.RateCommandBytes())
 		s.sched.At(at, func(cmdNow float64) {
 			s.sampler.SetRate(rate)
 			pt := RatePoint{Time: cmdNow, Rate: rate}
@@ -304,7 +352,7 @@ func (s *System) cloudReceive(frames []*video.Frame, alpha, lambda, now float64)
 		})
 	}
 
-	s.strategy.OnCloudBatch(frames, labels, done)
+	s.strategy.OnCloudBatch(frames, batch.Labels, batch.Done)
 }
 
 // DepositLabels converts labeled frames into training regions and fires the
@@ -443,6 +491,12 @@ func (s *System) finalize(end float64) *Results {
 	r.WindowMAPs = s.collector.WindowedMAP50(cfg.WindowSec)
 	r.PhiMean = s.phiAll.Mean()
 	r.AlphaMean = s.alphaAll.Mean()
+	r.Device = cfg.DeviceID
+	qs := s.cloudDev.Stats()
+	r.CloudBatches = qs.Batches
+	r.CloudDroppedBatches = qs.DroppedBatches
+	r.CloudQueueDelayMeanSec = qs.QueueDelayMeanSec
+	r.CloudQueueDelayMaxSec = qs.QueueDelayMaxSec
 	return r
 }
 

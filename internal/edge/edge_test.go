@@ -220,3 +220,40 @@ func TestSamplerFirstFrameSampled(t *testing.T) {
 		t.Fatal("first frame should be sampled to bootstrap labeling")
 	}
 }
+
+// TestSamplerCreditClamped is the regression test for unbounded credit:
+// a rate at or above the camera FPS used to accrue surplus credit every
+// frame, so a rate cut was followed by a long burst of stale samples. The
+// clamp bounds the post-cut burst to at most two immediate samples.
+func TestSamplerCreditClamped(t *testing.T) {
+	s := NewSampler(90) // 3× the camera FPS
+	dt := 1.0 / 30
+	i := 0
+	for ; i < 600; i++ { // 20 s at rate ≥ FPS: every frame sampled
+		if !s.Sample(float64(i) * dt) {
+			t.Fatalf("rate above FPS must sample every frame (frame %d)", i)
+		}
+	}
+	s.SetRate(0.5)
+	burst := 0
+	for ; i < 630; i++ { // first second after the cut
+		if s.Sample(float64(i) * dt) {
+			burst++
+		}
+	}
+	// Unclamped credit would be ≈ 20s·(90−30) = 1200: every one of these 30
+	// frames sampled. Clamped: ≤2 backlog samples plus the 0.5 fps trickle.
+	if burst > 3 {
+		t.Fatalf("rate cut followed by a %d-sample burst; credit not clamped", burst)
+	}
+	// The new rate must still be honored afterwards: ~5 samples over 10 s.
+	count := 0
+	for ; i < 930; i++ {
+		if s.Sample(float64(i) * dt) {
+			count++
+		}
+	}
+	if count < 3 || count > 7 {
+		t.Fatalf("post-clamp sampling off: %d samples in 10s at 0.5 fps", count)
+	}
+}

@@ -10,6 +10,15 @@ type Sampler struct {
 	started bool
 }
 
+// maxCredit caps accrued sampling credit. While the rate meets or exceeds
+// the camera FPS, every frame is sampled and the surplus used to pile up
+// without bound — so a later rate cut was followed by a burst of stale
+// samples until the backlog drained. The cap bounds that burst to at most
+// two immediate samples (credit 2 → 1 → 0). With a rate below the camera
+// FPS credit stays under 2 on its own (each frame adds < 1 and a sample
+// subtracts 1), so sub-FPS sampling is untouched by the clamp.
+const maxCredit = 2
+
 // NewSampler creates a sampler at the initial rate.
 func NewSampler(rate float64) *Sampler { return &Sampler{rate: rate} }
 
@@ -34,6 +43,9 @@ func (s *Sampler) Sample(t float64) bool {
 		s.credit = 1 // sample the first frame: bootstrap labeling quickly
 	} else {
 		s.credit += (t - s.lastT) * s.rate
+		if s.credit > maxCredit {
+			s.credit = maxCredit
+		}
 		s.lastT = t
 	}
 	if s.credit >= 1 {

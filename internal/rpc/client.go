@@ -3,24 +3,47 @@ package rpc
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 
 	"shoggoth/internal/video"
 )
+
+// DefaultTimeout bounds one label/status round trip. A hung cloud must
+// surface as an error at the edge, never stall its real-time loop forever.
+const DefaultTimeout = 30 * time.Second
 
 // Client is the edge side of the Shoggoth protocol.
 type Client struct {
 	BaseURL  string
 	DeviceID string
-	HTTP     *http.Client
+	// HTTP is the dedicated transport client; NewClient gives it
+	// DefaultTimeout. Callers may retune it, but it is never the global
+	// http.DefaultClient (whose zero timeout waits forever).
+	HTTP *http.Client
 }
 
-// NewClient creates an edge client for the cloud at baseURL.
+// NewClient creates an edge client for the cloud at baseURL with a request
+// deadline of DefaultTimeout.
 func NewClient(baseURL, deviceID string) *Client {
-	return &Client{BaseURL: baseURL, DeviceID: deviceID, HTTP: http.DefaultClient}
+	return &Client{
+		BaseURL:  baseURL,
+		DeviceID: deviceID,
+		HTTP:     &http.Client{Timeout: DefaultTimeout},
+	}
+}
+
+// describe annotates transport errors, making deadline expiry explicit.
+func describe(op string, err error) error {
+	var ue *url.Error
+	if errors.As(err, &ue) && ue.Timeout() {
+		return fmt.Errorf("rpc: %s: cloud deadline exceeded (unreachable or overloaded): %w", op, err)
+	}
+	return fmt.Errorf("rpc: %s: %w", op, err)
 }
 
 // Label uploads a sample buffer with telemetry and returns the teacher
@@ -33,7 +56,7 @@ func (c *Client) Label(frames []video.Frame, alpha, lambda float64) (*LabelRespo
 	}
 	httpResp, err := c.HTTP.Post(c.BaseURL+"/v1/label", "application/octet-stream", &body)
 	if err != nil {
-		return nil, fmt.Errorf("rpc: label: %w", err)
+		return nil, describe("label", err)
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
@@ -54,7 +77,7 @@ func (c *Client) Label(frames []video.Frame, alpha, lambda float64) (*LabelRespo
 func (c *Client) Status() (*StatusResponse, error) {
 	httpResp, err := c.HTTP.Get(c.BaseURL + "/v1/status?device=" + url.QueryEscape(c.DeviceID))
 	if err != nil {
-		return nil, fmt.Errorf("rpc: status: %w", err)
+		return nil, describe("status", err)
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {

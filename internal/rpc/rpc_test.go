@@ -1,9 +1,14 @@
 package rpc
 
 import (
+	"fmt"
 	"math/rand/v2"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"shoggoth/internal/detect"
 	"shoggoth/internal/video"
@@ -145,5 +150,112 @@ func TestStatusUnknownDeviceCreatesState(t *testing.T) {
 	}
 	if s.Rate <= 0 {
 		t.Fatal("fresh device should report the initial rate")
+	}
+}
+
+func TestEmptyBatchRejected(t *testing.T) {
+	srv, _ := newTestServer(t)
+	client := NewClient(srv.URL, "edge-empty")
+
+	before, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Label(nil, 0.9, 0.5); err == nil {
+		t.Fatal("empty Frames batch must be rejected with 400")
+	}
+	after, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rejected batch must not have reached the controller: φ̄=0 would
+	// have yanked the rate toward RMin.
+	if after.Rate != before.Rate {
+		t.Fatalf("empty batch moved the rate: %v -> %v", before.Rate, after.Rate)
+	}
+	if after.FramesLabeled != 0 {
+		t.Fatalf("empty batch labeled %d frames", after.FramesLabeled)
+	}
+}
+
+// TestConcurrentMultiDeviceLabel hammers one server from many devices at
+// once (run under -race in CI): per-device locking must keep every device's
+// labeled counter exact and its φ stream self-consistent while unrelated
+// devices label in parallel.
+func TestConcurrentMultiDeviceLabel(t *testing.T) {
+	srv, p := newTestServer(t)
+	frames := collectFrames(p, 9, 6, 15)
+
+	const devices, rounds = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, devices)
+	for d := 0; d < devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			client := NewClient(srv.URL, fmt.Sprintf("edge-%d", d))
+			for r := 0; r < rounds; r++ {
+				resp, err := client.Label(frames, 0.9, 0.5)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(resp.Labels) != len(frames) {
+					errs <- fmt.Errorf("device %d: %d label sets for %d frames", d, len(resp.Labels), len(frames))
+					return
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for d := 0; d < devices; d++ {
+		client := NewClient(srv.URL, fmt.Sprintf("edge-%d", d))
+		st, err := client.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(rounds * len(frames)); st.FramesLabeled != want {
+			t.Fatalf("device %d labeled %d frames, want %d", d, st.FramesLabeled, want)
+		}
+	}
+}
+
+// TestClientTimeout: a hung cloud must surface as an error instead of
+// stalling the edge loop forever.
+func TestClientTimeout(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	t.Cleanup(func() { close(block); srv.Close() })
+
+	client := NewClient(srv.URL, "edge-1")
+	if client.HTTP == http.DefaultClient {
+		t.Fatal("client must not share http.DefaultClient")
+	}
+	if client.HTTP.Timeout != DefaultTimeout {
+		t.Fatalf("want default timeout %v, got %v", DefaultTimeout, client.HTTP.Timeout)
+	}
+	client.HTTP.Timeout = 50 * time.Millisecond
+
+	p := video.DETRACProfile()
+	frames := collectFrames(p, 11, 1, 15)
+	start := time.Now()
+	_, err := client.Label(frames, 0.9, 0.5)
+	if err == nil {
+		t.Fatal("expected a deadline error from the hung cloud")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("error should surface the deadline: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v; the edge loop would have stalled", elapsed)
+	}
+	if _, err := client.Status(); err == nil {
+		t.Fatal("status against a hung cloud must also time out")
 	}
 }

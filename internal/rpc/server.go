@@ -12,19 +12,27 @@ import (
 	"shoggoth/internal/video"
 )
 
-// Server is the cloud side: a shared teacher model with per-device labeling
-// state and sampling-rate controllers, served over HTTP.
+// Server is the cloud side: per-device teachers, labeling state and
+// sampling-rate controllers, served over HTTP. It mirrors the simulation's
+// cloud.Service design — per-device state behind per-device locks — so
+// teacher inference for unrelated devices runs concurrently; only the
+// device registry itself is globally locked.
 type Server struct {
 	profile    *video.Profile
 	labelerCfg cloud.LabelerConfig
 	ctrlCfg    cloud.ControllerConfig
 	seed       uint64
 
-	mu      sync.Mutex
+	mu      sync.Mutex // guards the devices map only
 	devices map[string]*deviceState
 }
 
+// deviceState is one device's cloud-side state. Its mutex serialises that
+// device's labeling (the labeler's φ continuity needs request order) and
+// controller updates, and keeps the labeled counter coherent for
+// handleStatus — without ever blocking other devices.
 type deviceState struct {
+	mu      sync.Mutex
 	labeler *cloud.Labeler
 	ctrl    *cloud.Controller
 	labeled int64
@@ -81,10 +89,16 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing DeviceID", http.StatusBadRequest)
 		return
 	}
+	if len(req.Frames) == 0 {
+		// An empty batch carries no φ evidence; feeding φ̄=0 to the
+		// controller would yank the device's sampling rate toward RMin.
+		http.Error(w, "empty Frames batch", http.StatusBadRequest)
+		return
+	}
 	d := s.device(req.DeviceID)
 
 	resp := LabelResponse{Labels: make([][]detect.TeacherLabel, len(req.Frames))}
-	s.mu.Lock()
+	d.mu.Lock()
 	var phiSum float64
 	for i := range req.Frames {
 		res := d.labeler.LabelFrame(&req.Frames[i])
@@ -92,11 +106,9 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		phiSum += res.Phi
 		d.labeled++
 	}
-	if len(req.Frames) > 0 {
-		resp.PhiMean = phiSum / float64(len(req.Frames))
-	}
+	resp.PhiMean = phiSum / float64(len(req.Frames))
 	resp.NewRate = d.ctrl.Update(resp.PhiMean, req.Alpha, req.Lambda)
-	s.mu.Unlock()
+	d.mu.Unlock()
 
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := gob.NewEncoder(w).Encode(&resp); err != nil {
@@ -111,9 +123,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d := s.device(id)
-	s.mu.Lock()
+	d.mu.Lock()
 	resp := StatusResponse{DeviceID: id, Rate: d.ctrl.Rate(), FramesLabeled: d.labeled}
-	s.mu.Unlock()
+	d.mu.Unlock()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := gob.NewEncoder(w).Encode(&resp); err != nil {
 		http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
