@@ -55,6 +55,15 @@ type Cluster struct {
 	// waiting); an arriving batch finding it full is dropped. 0 means
 	// unbounded.
 	QueueCap int
+	// Policy names the shared service's scheduling policy — which device's
+	// batch the teacher labels next ("fifo", "phi-priority", "wfq", or any
+	// policy registered via cloud.RegisterPolicy). Empty means FIFO, the
+	// frozen default that serves in arrival order.
+	Policy string
+	// Workers is the teacher pipeline pool size of the shared service: how
+	// many batches the cloud labels concurrently in virtual time. 0 means
+	// 1.
+	Workers int
 	// Cache, when set, shares pretrained students with other runners; nil
 	// uses a cluster-private cache.
 	Cache *StudentCache
@@ -83,13 +92,20 @@ func (c *Cluster) Run(ctx context.Context, cfgs []Config) (*ClusterResults, erro
 				i, cfgs[i].DurationSec, cfgs[0].DurationSec)
 		}
 	}
+	if err := cloud.ValidatePolicy(c.Policy); err != nil {
+		return nil, err
+	}
+	if c.Workers < 0 {
+		return nil, fmt.Errorf("shoggoth: negative cluster worker count %d", c.Workers)
+	}
 	cache := c.Cache
 	if cache == nil {
 		cache = &c.own
 	}
 
 	sched := sim.NewScheduler()
-	svc := cloud.NewService(cloud.ServiceConfig{QueueCap: c.QueueCap})
+	svc := cloud.NewService(cloud.ServiceConfig{QueueCap: c.QueueCap, Policy: c.Policy, Workers: c.Workers})
+	svc.Bind(sched)
 	sessions := make([]*core.System, len(cfgs))
 	for i, cfg := range cfgs {
 		if err := ctx.Err(); err != nil {

@@ -168,6 +168,50 @@ func TestClusterQueueCapDrops(t *testing.T) {
 	}
 }
 
+// TestClusterUnknownPolicyRejected: a bad policy name is a config error
+// surfaced before any device runs, not a panic mid-fleet.
+func TestClusterUnknownPolicyRejected(t *testing.T) {
+	cfgs := clusterConfigs(t, 1, false, 30)
+	if _, err := (&shoggoth.Cluster{Policy: "no-such-policy"}).Run(context.Background(), cfgs); err == nil {
+		t.Fatal("unknown scheduling policy must be rejected")
+	}
+	if _, err := (&shoggoth.Cluster{Workers: -1}).Run(context.Background(), cfgs); err == nil {
+		t.Fatal("negative worker count must be rejected")
+	}
+}
+
+// TestClusterPolicyAndWorkersRun: the policy/worker knobs drive a real
+// cluster deterministically — same-seed devices under WFQ with a 2-worker
+// teacher pool still produce identical results run to run.
+func TestClusterPolicyAndWorkersRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment run is seconds-long; skipped with -short")
+	}
+	cfgs := clusterConfigs(t, 3, true, 120)
+	run := func() *shoggoth.ClusterResults {
+		res, err := (&shoggoth.Cluster{Policy: "wfq", Workers: 2}).Run(context.Background(), cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	if first.Cloud.Batches == 0 {
+		t.Fatal("no batches reached the shared cloud under wfq")
+	}
+	var devBatches int
+	for _, d := range first.Devices {
+		devBatches += d.CloudBatches
+	}
+	if devBatches != first.Cloud.Batches {
+		t.Fatalf("per-device batches %d don't sum to aggregate %d", devBatches, first.Cloud.Batches)
+	}
+	second := run()
+	if a, b := encodeJSON(t, first), encodeJSON(t, second); !bytes.Equal(a, b) {
+		t.Fatal("two identical wfq Cluster runs produced different ClusterResults")
+	}
+}
+
 // TestClusterDuplicateDeviceIDRejected: two devices may never alias one
 // cloud-side φ stream.
 func TestClusterDuplicateDeviceIDRejected(t *testing.T) {

@@ -21,14 +21,17 @@ func main() {
 	addr := flag.String("addr", ":8700", "listen address")
 	profileName := flag.String("profile", video.ProfileDETRAC, "dataset profile the edges stream")
 	seed := flag.Uint64("seed", 7, "teacher seed")
+	queueCap := flag.Int("queue-cap", 0, "labeling queue capacity in batches; overflow answers 429 (0 = unbounded)")
+	workers := flag.Int("workers", 1, "modeled teacher pipeline workers")
 	flag.Parse()
 
 	profile, err := video.ProfileByName(*profileName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := rpc.NewServer(profile, *seed)
-	log.Printf("serving %s labeling + rate control on %s", profile.Name, *addr)
+	srv := rpc.NewServerOpts(profile, *seed, rpc.ServerOptions{QueueCap: *queueCap, Workers: *workers})
+	log.Printf("serving %s labeling + rate control on %s (queue cap %d, %d workers)",
+		profile.Name, *addr, *queueCap, *workers)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}

@@ -7,10 +7,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"time"
 
 	"shoggoth/internal/detect"
 	"shoggoth/internal/edge"
@@ -52,6 +54,12 @@ func main() {
 	pendingFrames, sessions := 0, 0
 
 	frames := int(*duration * profile.FPS)
+	// Backpressure deadline in WALL time: the cloud's queue drains in real
+	// seconds (its service model runs on time.Since(start)), while this loop
+	// burns through stream time much faster than wall time — a stream-time
+	// pause would retry into a still-full queue.
+	var retryUntil time.Time
+	dropped := 0 // samples aged out of the buffer while paused
 	log.Printf("streaming %d frames to %s as %q", frames, *cloudURL, *device)
 	for i := 0; i < frames; i++ {
 		f := stream.Next()
@@ -77,9 +85,32 @@ func main() {
 
 		if sampler.Sample(f.Time) {
 			buffer = append(buffer, *f)
+			// Under sustained backpressure the buffer must not grow without
+			// bound, and the eventual retry must not be one giant batch
+			// whose modeled service time re-overloads the queue: keep only
+			// the freshest 60 samples (3 uploads' worth), dropping the
+			// oldest — stale frames carry the least adaptation value anyway.
+			if len(buffer) > 60 {
+				dropped += len(buffer) - 60
+				buffer = buffer[len(buffer)-60:]
+			}
 		}
-		if len(buffer) >= 20 {
+		if len(buffer) >= 20 && !time.Now().Before(retryUntil) {
 			resp, err := client.Label(buffer, alphaAcc.Mean(), 0.55)
+			var bp *rpc.BackpressureError
+			if errors.As(err, &bp) {
+				// The cloud's labeling queue is full: keep the buffer and
+				// honour the Retry-After hint before attempting again —
+				// backpressure is load, not failure, and re-sending every
+				// frame would only feed the overload.
+				wait := bp.RetryAfter
+				if wait < time.Second {
+					wait = time.Second
+				}
+				retryUntil = time.Now().Add(wait)
+				log.Printf("t=%5.1fs cloud backpressure, pausing uploads %v", f.Time, wait)
+				continue
+			}
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -88,10 +119,11 @@ func main() {
 				pending = append(pending,
 					detect.BuildTrainingBatch(&buffer[j], resp.Labels[j], profile.BackgroundClass())...)
 			}
-			pendingFrames += len(buffer)
+			uploaded := len(buffer)
+			pendingFrames += uploaded
 			buffer = buffer[:0]
 			sampler.SetRate(resp.NewRate)
-			log.Printf("t=%5.1fs labeled 20 frames, φ=%.2f, rate → %.2f fps", f.Time, resp.PhiMean, resp.NewRate)
+			log.Printf("t=%5.1fs labeled %d frames, φ=%.2f, rate → %.2f fps", f.Time, uploaded, resp.PhiMean, resp.NewRate)
 		}
 		if pendingFrames >= *batchFrames {
 			stats := trainer.RunSession(pending)
@@ -103,6 +135,9 @@ func main() {
 		}
 	}
 
+	if dropped > 0 {
+		log.Printf("dropped %d stale samples while the cloud was backpressured", dropped)
+	}
 	fmt.Printf("device %s: mAP@0.5 %.1f%% over %d frames, %d sessions\n",
 		*device, col.MAP50()*100, col.Frames(), sessions)
 }

@@ -13,6 +13,14 @@
 // contention statistics:
 //
 //	shoggoth-sim -profile ua-detrac -strategy shoggoth -devices 8 -queue-cap 4
+//
+// The cloud's scheduling engine is configurable in both modes:
+// -cloud-policy picks the service discipline (fifo serves in arrival
+// order — the default; phi-priority labels the most-drifted device first;
+// wfq gives every device a fair teacher share) and -cloud-workers sizes
+// the teacher pipeline pool:
+//
+//	shoggoth-sim -profile ua-detrac -devices 8 -queue-cap 4 -cloud-policy wfq -cloud-workers 2
 package main
 
 import (
@@ -40,6 +48,9 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent sessions for -strategy all (0 = GOMAXPROCS)")
 	devices := flag.Int("devices", 1, "edge devices sharing one cloud labeling service (cluster mode when > 1)")
 	queueCap := flag.Int("queue-cap", 0, "cloud labeling queue capacity in batches (0 = unbounded)")
+	cloudPolicy := flag.String("cloud-policy", "fifo",
+		"cloud scheduling policy: "+strings.Join(shoggoth.CloudPolicies(), ", "))
+	cloudWorkers := flag.Int("cloud-workers", 1, "cloud teacher pipeline workers (concurrent label batches)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
 	verbose := flag.Bool("v", false, "print a wall-clock perf summary from the per-session workspace counters")
 	flag.Parse()
@@ -69,13 +80,18 @@ func main() {
 		if len(kinds) != 1 {
 			log.Fatal("-devices needs a single -strategy (not \"all\")")
 		}
-		runCluster(profile, kinds[0], *devices, *queueCap, *seed, baseOpts, *asJSON, *verbose)
+		runCluster(profile, kinds[0], clusterParams{
+			devices: *devices, queueCap: *queueCap,
+			policy: *cloudPolicy, workers: *cloudWorkers, seed: *seed,
+		}, baseOpts, *asJSON, *verbose)
 		return
 	}
 
 	cfgs := shoggoth.Grid([]*shoggoth.Profile{profile}, kinds, baseOpts(*seed)...)
 	for i := range cfgs {
 		cfgs[i].CloudQueueCap = *queueCap
+		cfgs[i].CloudPolicy = *cloudPolicy
+		cfgs[i].CloudWorkers = *cloudWorkers
 	}
 
 	// The fleet bounds concurrency and pretrains one student per profile,
@@ -114,17 +130,26 @@ func main() {
 	}
 }
 
+// clusterParams bundles the cluster-mode knobs.
+type clusterParams struct {
+	devices  int
+	queueCap int
+	policy   string
+	workers  int
+	seed     uint64
+}
+
 // runCluster steps N devices against one shared cloud labeling service and
 // prints per-device results plus the queue's contention statistics.
-func runCluster(profile *shoggoth.Profile, kind shoggoth.StrategyKind, devices, queueCap int,
-	seed uint64, baseOpts func(seed uint64) []shoggoth.Option, asJSON, verbose bool) {
+func runCluster(profile *shoggoth.Profile, kind shoggoth.StrategyKind, p clusterParams,
+	baseOpts func(seed uint64) []shoggoth.Option, asJSON, verbose bool) {
 
-	cfgs := make([]shoggoth.Config, devices)
+	cfgs := make([]shoggoth.Config, p.devices)
 	for i := range cfgs {
-		cfgs[i] = shoggoth.NewConfig(kind, profile, baseOpts(seed+uint64(i))...)
+		cfgs[i] = shoggoth.NewConfig(kind, profile, baseOpts(p.seed+uint64(i))...)
 		cfgs[i].DeviceID = fmt.Sprintf("edge-%d", i+1)
 	}
-	cluster := &shoggoth.Cluster{QueueCap: queueCap}
+	cluster := &shoggoth.Cluster{QueueCap: p.queueCap, Policy: p.policy, Workers: p.workers}
 	if verbose {
 		cluster.Perf = &shoggoth.PerfCounters{}
 	}
@@ -147,8 +172,16 @@ func runCluster(profile *shoggoth.Profile, kind shoggoth.StrategyKind, devices, 
 		}
 		return
 	}
-	fmt.Printf("profile=%s strategy=%s devices=%d duration=%.0fs seeds=%d..%d queue-cap=%d\n\n",
-		profile.Name, kind, devices, res.Devices[0].Duration, seed, seed+uint64(devices)-1, queueCap)
+	policy := p.policy
+	if policy == "" {
+		policy = "fifo"
+	}
+	workers := p.workers
+	if workers < 1 {
+		workers = 1
+	}
+	fmt.Printf("profile=%s strategy=%s devices=%d duration=%.0fs seeds=%d..%d queue-cap=%d policy=%s workers=%d\n\n",
+		profile.Name, kind, p.devices, res.Devices[0].Duration, p.seed, p.seed+uint64(p.devices)-1, p.queueCap, policy, workers)
 	fmt.Printf("%-8s %9s %9s %8s %9s %9s %9s %10s %10s\n",
 		"device", "mAP@0.5", "up Kbps", "fps", "sessions", "batches", "dropped", "qdelay(s)", "qmax(s)")
 	for _, r := range res.Devices {

@@ -13,8 +13,9 @@ import (
 
 // goldenResults runs the five stock strategies on UA-DETRAC in quick mode
 // (one scenario cycle, seed 1) and returns the indented Results JSON — the
-// exact bytes `shoggoth-sim -strategy all -cycles 1 -json` prints.
-func goldenResults(t *testing.T) []byte {
+// exact bytes `shoggoth-sim -strategy all -cycles 1 -json` prints. mutate,
+// when non-nil, post-processes every config before the run.
+func goldenResults(t *testing.T, mutate func(*shoggoth.Config)) []byte {
 	t.Helper()
 	profile, err := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
 	if err != nil {
@@ -22,6 +23,11 @@ func goldenResults(t *testing.T) []byte {
 	}
 	cfgs := shoggoth.Grid([]*shoggoth.Profile{profile}, shoggoth.StrategyKinds(),
 		shoggoth.WithSeed(1), shoggoth.WithCycles(1))
+	if mutate != nil {
+		for i := range cfgs {
+			mutate(&cfgs[i])
+		}
+	}
 	fleet := &shoggoth.Fleet{}
 	all, err := fleet.Run(context.Background(), cfgs)
 	if err != nil {
@@ -51,8 +57,8 @@ func TestGoldenResultsByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick-mode deployment run is seconds-long; skipped with -short")
 	}
-	first := goldenResults(t)
-	second := goldenResults(t)
+	first := goldenResults(t, nil)
+	second := goldenResults(t, nil)
 	if !bytes.Equal(first, second) {
 		t.Fatal("two identical Run configurations produced different Results JSON")
 	}
@@ -69,5 +75,34 @@ func TestGoldenResultsByteIdentical(t *testing.T) {
 		t.Fatal("Results JSON diverged from the pre-refactor golden capture; " +
 			"the bit-identical guarantee is broken (or an intentional result change " +
 			"needs a regenerated testdata/golden_results.json with a justification)")
+	}
+}
+
+// TestGoldenExplicitFIFOOneWorker locks the scheduling engine's equivalence
+// contract: explicitly configuring the frozen default — FIFO policy, one
+// teacher worker — must reproduce testdata/golden_results.json byte for
+// byte, proving the engine refactor left the default service discipline
+// bit-identical rather than merely similar.
+func TestGoldenExplicitFIFOOneWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode deployment run is seconds-long; skipped with -short")
+	}
+	if runtime.GOARCH != "amd64" {
+		// Skip before the seconds-long fleet run: unlike the default golden
+		// test there is no run-to-run comparison here, so off-amd64 the run
+		// would assert nothing.
+		t.Skipf("golden-file byte comparison is amd64-only (FMA contraction differs on %s)", runtime.GOARCH)
+	}
+	explicit := goldenResults(t, func(c *shoggoth.Config) {
+		c.CloudPolicy = "fifo"
+		c.CloudWorkers = 1
+	})
+	golden, err := os.ReadFile("testdata/golden_results.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(explicit, golden) {
+		t.Fatal("explicit FIFO x 1-worker diverged from the golden capture; " +
+			"the engine's default-equivalence contract is broken")
 	}
 }

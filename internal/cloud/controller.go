@@ -1,10 +1,16 @@
 // Package cloud implements the cloud side of Shoggoth: the online labeler
 // (the teacher model behind a V100-like latency model), the φ label-change
-// metric, and the sampling-rate controller of §III-C that adjusts each edge
-// device's frame sampling rate from φ, α and λ.
+// metric, the sampling-rate controller of §III-C that adjusts each edge
+// device's frame sampling rate from φ, α and λ, and the shared labeling
+// Service — a scheduling engine with a pluggable policy (fifo,
+// phi-priority, wfq, or anything registered via RegisterPolicy), a teacher
+// worker pool, and a finite admission queue, multiplexed across registered
+// edge devices (DESIGN.md §7–§8).
 package cloud
 
 import (
+	"math"
+
 	"shoggoth/internal/tensor"
 )
 
@@ -64,19 +70,48 @@ func (c *Controller) Rate() float64 { return c.rate }
 
 // Update consumes the period's mean φ̄, the estimated accuracy α since the
 // last adaptive training, and the mean resource usage λ̄, returning r_{t+1}.
+//
+// Non-finite telemetry (NaN/±Inf from a misbehaving edge) is replaced by
+// the neutral value of its term — φ̄ by φ_target, α by α_target, λ̄ by the
+// previous λ̄ — so one bad report holds the rate instead of poisoning the
+// controller state (a NaN stored in lastLambda would otherwise make every
+// later rate NaN, pinned only by the clamp's behaviour on NaN).
 func (c *Controller) Update(phiBar, alpha, lambdaBar float64) float64 {
 	cfg := c.Config
+	if !IsFinite(phiBar) {
+		phiBar = cfg.PhiTarget
+	}
+	if !IsFinite(alpha) {
+		alpha = cfg.AlphaTarget
+	}
 	rPhi := cfg.EtaR * (phiBar - cfg.PhiTarget)
 	rAlpha := cfg.EtaAlpha * maxF(0, cfg.AlphaTarget-alpha)
-	prevLambda := c.lastLambda
-	if !c.haveLambda {
-		prevLambda = lambdaBar
-		c.haveLambda = true
+	var rLambda float64
+	switch {
+	case !IsFinite(lambdaBar):
+		// λ̄ unchanged from the last finite report: R(λ) = r_t. When no
+		// finite report exists yet, the baseline stays unset too, so the
+		// first real λ̄ still establishes it neutrally instead of being
+		// measured against a fabricated λ̄ = 0.
+		rLambda = c.rate
+	default:
+		prevLambda := c.lastLambda
+		if !c.haveLambda {
+			prevLambda = lambdaBar
+			c.haveLambda = true
+		}
+		rLambda = (1 + lambdaBar - prevLambda) * c.rate
+		c.lastLambda = lambdaBar
 	}
-	rLambda := (1 + lambdaBar - prevLambda) * c.rate
-	c.lastLambda = lambdaBar
 	c.rate = tensor.Clamp(rPhi+rAlpha+rLambda, cfg.RMin, cfg.RMax)
 	return c.rate
+}
+
+// IsFinite reports whether v is a usable telemetry value (neither NaN nor
+// ±Inf) — shared by the controller's input clamp and the rpc boundary
+// check so both apply the same predicate.
+func IsFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 func maxF(a, b float64) float64 {

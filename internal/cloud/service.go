@@ -3,18 +3,29 @@ package cloud
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"shoggoth/internal/detect"
 	"shoggoth/internal/metrics"
+	"shoggoth/internal/sim"
 	"shoggoth/internal/video"
 )
 
-// ServiceConfig shapes the shared labeling service.
+// ServiceConfig shapes the shared labeling engine.
 type ServiceConfig struct {
 	// QueueCap bounds the number of label batches outstanding (in service
 	// plus waiting) at any virtual instant; a batch arriving at a full
 	// queue is dropped (no labels, no rate command). 0 means unbounded.
 	QueueCap int
+	// Policy names the scheduling policy deciding service order across
+	// devices (see RegisterPolicy). Empty means PolicyFIFO, the frozen
+	// default whose 1-worker configuration is bit-identical to the
+	// pre-engine cloud.
+	Policy string
+	// Workers is the teacher pipeline pool size: how many batches the cloud
+	// labels concurrently (in virtual time, each on its own busyUntil
+	// horizon). 0 means 1.
+	Workers int
 }
 
 // QueueStats is a snapshot of labeling-queue behaviour, either for the
@@ -60,49 +71,124 @@ func (a *queueAccum) snapshot() QueueStats {
 	}
 }
 
-// Service is one shared cloud labeling service multiplexed across many edge
-// devices, in virtual time: a single teacher-inference pipeline (batches
-// from all devices serialise on it, so contention shows up as queueing
-// delay) with per-device labeling state and sampling-rate controllers.
-//
-// A Service is driven from one virtual-time event loop and is not safe for
-// concurrent use; the real-network mirror of this design is rpc.Server,
-// which replaces the shared virtual clock with per-device locks.
-type Service struct {
-	cfg       ServiceConfig
-	busyUntil float64
-	// outstanding holds completion times of admitted batches; entries ≤ now
-	// have left the system. Its live length is the queue occupancy.
-	outstanding []float64
-	agg         queueAccum
-	devices     map[string]*ServiceDevice
+// pendingBatch is one admitted-but-unassigned batch on the deferred
+// dispatch path (reordering policies only).
+type pendingBatch struct {
+	dev     *ServiceDevice
+	frames  []*video.Frame
+	arrival float64
+	seq     int
+	cb      func(BatchResult)
 }
 
-// NewService creates an empty labeling service.
+// Service is the cloud scheduling engine: one shared labeling backend
+// multiplexed across many edge devices. A configurable pool of teacher
+// workers (ServiceConfig.Workers, each with its own busyUntil horizon)
+// serves batches in the order a pluggable Policy decides, behind a finite
+// admission queue (QueueCap); contention shows up as queueing delay, and
+// overload as drops. Per-device state — labeler φ continuity and the
+// optional sampling-rate controller — is keyed by device id.
+//
+// Two driving modes share the engine:
+//
+//   - Virtual time (simulation): Enqueue batches from one event loop.
+//     Arrival-order policies (Policy.Immediate) are scheduled synchronously
+//     at admission; reordering policies queue and dispatch through the
+//     bound sim.Scheduler (Bind). The virtual-time methods must be driven
+//     from a single event loop.
+//   - Real time (internal/rpc): Admit/LabelFrames split admission (engine
+//     state, internally locked) from labeling (caller-serialised per
+//     device), so a live HTTP server shares the exact admission, horizon
+//     and statistics model while unrelated devices label concurrently.
+type Service struct {
+	cfg       ServiceConfig
+	policy    Policy
+	immediate bool
+
+	// mu guards the scheduling state below (horizons, outstanding, pending,
+	// accumulators, registry). The virtual-time path is single-threaded and
+	// pays only an uncontended lock; the rpc path genuinely contends.
+	mu sync.Mutex
+	// workers holds each teacher worker's busyUntil horizon. A batch is
+	// assigned to the free worker with the smallest horizon, ties broken by
+	// the lowest worker index — part of the determinism contract.
+	workers []float64
+	// outstanding holds completion times of assigned batches; entries ≤ now
+	// have left the system. Its live length plus the pending queue is the
+	// queue occupancy QueueCap bounds.
+	outstanding []float64
+	pending     []*pendingBatch
+	seq         int
+	agg         queueAccum
+	devices     map[string]*ServiceDevice
+
+	// sched drives deferred dispatch for reordering policies (Bind).
+	sched       *sim.Scheduler
+	dispatchSet bool
+	dispatchAt  float64
+}
+
+// NewService creates an empty labeling engine. It panics on an unregistered
+// policy name — validate user input with ValidatePolicy first.
 func NewService(cfg ServiceConfig) *Service {
-	return &Service{cfg: cfg, devices: make(map[string]*ServiceDevice)}
+	policy, err := NewPolicy(cfg.Policy)
+	if err != nil {
+		panic(err)
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return &Service{
+		cfg:       cfg,
+		policy:    policy,
+		immediate: policy.Immediate(),
+		workers:   make([]float64, workers),
+		devices:   make(map[string]*ServiceDevice),
+	}
+}
+
+// Bind attaches the virtual-time scheduler that drives deferred dispatch.
+// Reordering (non-Immediate) policies require it before the first Enqueue;
+// arrival-order policies and the real-time Admit path never use it.
+func (s *Service) Bind(sched *sim.Scheduler) { s.sched = sched }
+
+// Workers returns the teacher pipeline pool size.
+func (s *Service) Workers() int { return len(s.workers) }
+
+// Policy returns the resolved scheduling policy name.
+func (s *Service) Policy() string {
+	if s.cfg.Policy == "" {
+		return PolicyFIFO
+	}
+	return s.cfg.Policy
 }
 
 // ServiceDevice is one registered edge device's cloud-side state: its own
 // labeler (φ continuity) and optional sampling-rate controller, sharing the
-// service's teacher capacity with every other device.
+// engine's teacher workers with every other device.
 type ServiceDevice struct {
 	svc     *Service
 	id      string
 	labeler *Labeler
 	ctrl    *Controller
 	acc     queueAccum
+	weight  float64
+	lastPhi float64 // most recent batch mean φ — the drift signal policies rank by
 }
 
 // Register adds a device to the service. Each device brings its own teacher
 // (its error stream) and labeler configuration; ctrlCfg non-nil attaches a
 // per-device sampling-rate controller. Duplicate ids are rejected so two
-// deployments can never alias one φ stream.
+// deployments can never alias one φ stream. Register is safe for concurrent
+// use (the rpc server registers devices on first contact).
 func (s *Service) Register(id string, teacher *detect.Teacher, labelerCfg LabelerConfig, ctrlCfg *ControllerConfig) (*ServiceDevice, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.devices[id]; dup {
 		return nil, fmt.Errorf("cloud: device %q already registered", id)
 	}
-	d := &ServiceDevice{svc: s, id: id, labeler: NewLabeler(teacher, labelerCfg)}
+	d := &ServiceDevice{svc: s, id: id, labeler: NewLabeler(teacher, labelerCfg), weight: 1}
 	if ctrlCfg != nil {
 		d.ctrl = NewController(*ctrlCfg)
 	}
@@ -111,10 +197,48 @@ func (s *Service) Register(id string, teacher *detect.Teacher, labelerCfg Labele
 }
 
 // Devices returns the number of registered devices.
-func (s *Service) Devices() int { return len(s.devices) }
+func (s *Service) Devices() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.devices)
+}
 
 // Stats returns the service-wide queue statistics.
-func (s *Service) Stats() QueueStats { return s.agg.snapshot() }
+func (s *Service) Stats() QueueStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agg.snapshot()
+}
+
+// AtCapacity reports whether a batch arriving at time now would be dropped
+// at the admission bound. It lets the rpc server refuse an unknown device's
+// upload BEFORE allocating its per-device state (teacher, controller) — an
+// advisory pre-check only: Admit re-checks authoritatively.
+func (s *Service) AtCapacity(now float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked(now)
+	return s.cfg.QueueCap > 0 && len(s.outstanding)+len(s.pending) >= s.cfg.QueueCap
+}
+
+// RetryAfterSec estimates, at time now, how long until the admission queue
+// frees a slot: the earliest outstanding completion still in the future
+// (0 when nothing is outstanding — the queue cannot be full then). The rpc
+// server turns this into the Retry-After header of a 429.
+func (s *Service) RetryAfterSec(now float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	earliest := math.Inf(1)
+	for _, done := range s.outstanding {
+		if done > now && done < earliest {
+			earliest = done
+		}
+	}
+	if math.IsInf(earliest, 1) {
+		return 0
+	}
+	return earliest - now
+}
 
 // BatchResult is the outcome of one uploaded sample batch.
 type BatchResult struct {
@@ -135,13 +259,17 @@ type BatchResult struct {
 	Dropped bool
 }
 
-// Label runs the teacher over one uploaded batch arriving at virtual time
-// now. Batches from all devices serialise on the shared pipeline: service
-// begins at max(now, busyUntil), so the queueing delay of an N-device
-// deployment emerges here. With a finite QueueCap a batch arriving while
-// QueueCap batches are still outstanding is dropped.
-func (d *ServiceDevice) Label(frames []*video.Frame, now float64) BatchResult {
-	s := d.svc
+// Admission is the scheduling outcome of one admitted batch: when a worker
+// starts on it, when it completes, and what it waited.
+type Admission struct {
+	Start         float64
+	Done          float64
+	QueueDelaySec float64
+	ServiceSec    float64
+}
+
+// pruneLocked drops completed batches from the occupancy count.
+func (s *Service) pruneLocked(now float64) {
 	live := s.outstanding[:0]
 	for _, done := range s.outstanding {
 		if done > now {
@@ -149,43 +277,236 @@ func (d *ServiceDevice) Label(frames []*video.Frame, now float64) BatchResult {
 		}
 	}
 	s.outstanding = live
-	if s.cfg.QueueCap > 0 && len(s.outstanding) >= s.cfg.QueueCap {
+}
+
+// freeWorkerLocked returns the worker with the smallest busyUntil horizon,
+// ties broken by the lowest index (the deterministic tie-break rule).
+func (s *Service) freeWorkerLocked() int {
+	best := 0
+	for i := 1; i < len(s.workers); i++ {
+		if s.workers[i] < s.workers[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// assignLocked schedules one batch of n frames from d onto the best worker,
+// starting no earlier than now, and records the queue statistics. arrival
+// is when the batch entered the system (equals now on the eager path).
+func (s *Service) assignLocked(d *ServiceDevice, n int, now, arrival float64) Admission {
+	w := s.freeWorkerLocked()
+	start := math.Max(now, s.workers[w])
+	// Service time is summed per frame, exactly as the labeling loop
+	// accumulates it — the float64 op order is part of the bit-identity
+	// contract with the pre-engine cloud.
+	var service float64
+	for i := 0; i < n; i++ {
+		service += d.labeler.Config.TeacherLatencySec
+	}
+	done := start + service
+	s.workers[w] = done
+	s.outstanding = append(s.outstanding, done)
+
+	delay := start - arrival
+	d.acc.admit(delay, service)
+	s.agg.admit(delay, service)
+	return Admission{Start: start, Done: done, QueueDelaySec: delay, ServiceSec: service}
+}
+
+// Admit runs admission control and worker assignment for a batch of nFrames
+// arriving at time now, in arrival order (the policy is not consulted — this
+// is the real-time path, where the network already fixed the order). ok is
+// false when the queue is full; the drop is counted. Admit is safe for
+// concurrent use; the caller labels the admitted frames with LabelFrames
+// under its own per-device serialisation.
+func (d *ServiceDevice) Admit(nFrames int, now float64) (Admission, bool) {
+	s := d.svc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked(now)
+	if s.cfg.QueueCap > 0 && len(s.outstanding)+len(s.pending) >= s.cfg.QueueCap {
 		d.acc.dropped++
 		s.agg.dropped++
-		return BatchResult{Dropped: true}
+		return Admission{}, false
 	}
+	return s.assignLocked(d, nFrames, now, now), true
+}
 
-	start := math.Max(now, s.busyUntil)
+// LabelFrames runs the teacher over a batch, returning the label sets, the
+// per-frame φ losses and their mean, and updating the device's drift
+// signal. It does not touch engine scheduling state; the caller serialises
+// calls per device (the virtual-time event loop, or the rpc server's
+// per-device lock) so the labeler's φ continuity sees frames in order.
+func (d *ServiceDevice) LabelFrames(frames []*video.Frame) ([][]detect.TeacherLabel, []float64, float64) {
 	labels := make([][]detect.TeacherLabel, len(frames))
 	phis := make([]float64, len(frames))
-	var service float64
 	var phi metrics.Running
 	for i, f := range frames {
 		res := d.labeler.LabelFrame(f)
 		labels[i] = res.Labels
-		service += res.ServiceSec
 		phi.Add(res.Phi)
 		phis[i] = res.Phi
 	}
-	done := start + service
-	s.busyUntil = done
-	s.outstanding = append(s.outstanding, done)
+	mean := phi.Mean()
+	d.lastPhi = mean
+	return labels, phis, mean
+}
 
-	delay := start - now
-	d.acc.admit(delay, service)
-	s.agg.admit(delay, service)
+// Label runs the teacher over one uploaded batch arriving at virtual time
+// now, synchronously: admission, worker assignment and labeling in one
+// call. It requires an arrival-order (Immediate) policy — under a
+// reordering policy a synchronous result would bypass the policy, so Label
+// panics there; use Enqueue instead.
+func (d *ServiceDevice) Label(frames []*video.Frame, now float64) BatchResult {
+	if !d.svc.immediate {
+		panic(fmt.Sprintf("cloud: Label requires an arrival-order policy; %q reorders — use Enqueue", d.svc.Policy()))
+	}
+	adm, ok := d.Admit(len(frames), now)
+	if !ok {
+		return BatchResult{Dropped: true}
+	}
+	labels, phis, phiMean := d.LabelFrames(frames)
 	return BatchResult{
 		Labels:        labels,
 		Phis:          phis,
-		PhiMean:       phi.Mean(),
-		Start:         start,
-		Done:          done,
-		QueueDelaySec: delay,
+		PhiMean:       phiMean,
+		Start:         adm.Start,
+		Done:          adm.Done,
+		QueueDelaySec: adm.QueueDelaySec,
 	}
+}
+
+// Enqueue admits one uploaded batch at virtual time now and arranges for cb
+// to be invoked exactly once with the labeled result — synchronously under
+// an arrival-order policy (the FIFO fast path), or from a deferred dispatch
+// event once a worker frees and the policy selects the batch. It returns
+// false (and never calls cb) when the batch is dropped at a full queue.
+// Reordering policies require a bound scheduler (Bind).
+func (d *ServiceDevice) Enqueue(frames []*video.Frame, now float64, cb func(BatchResult)) bool {
+	s := d.svc
+	if s.immediate {
+		res := d.Label(frames, now)
+		if res.Dropped {
+			return false
+		}
+		cb(res)
+		return true
+	}
+	if s.sched == nil {
+		panic(fmt.Sprintf("cloud: policy %q needs a scheduler; call Service.Bind first", s.Policy()))
+	}
+	s.mu.Lock()
+	s.pruneLocked(now)
+	if s.cfg.QueueCap > 0 && len(s.outstanding)+len(s.pending) >= s.cfg.QueueCap {
+		d.acc.dropped++
+		s.agg.dropped++
+		s.mu.Unlock()
+		return false
+	}
+	s.seq++
+	s.pending = append(s.pending, &pendingBatch{dev: d, frames: frames, arrival: now, seq: s.seq, cb: cb})
+	s.ensureDispatchLocked(now)
+	s.mu.Unlock()
+	return true
+}
+
+// ensureDispatchLocked schedules the next dispatch event at the earliest
+// time a worker frees (no earlier than now). Horizons only grow, so an
+// already-scheduled earlier-or-equal event covers this request.
+func (s *Service) ensureDispatchLocked(now float64) {
+	if len(s.pending) == 0 {
+		return
+	}
+	t := s.workers[s.freeWorkerLocked()]
+	if t < now {
+		t = now
+	}
+	if s.dispatchSet && s.dispatchAt <= t {
+		return
+	}
+	s.dispatchSet = true
+	s.dispatchAt = t
+	s.sched.At(t, s.onDispatch)
+}
+
+// onDispatch assigns every free worker a pending batch in policy order,
+// then labels the assigned batches and delivers their callbacks in
+// assignment order. Selection and labeling are split so no callback runs
+// while the engine lock is held.
+func (s *Service) onDispatch(now float64) {
+	type assigned struct {
+		b   *pendingBatch
+		adm Admission
+	}
+	var ready []assigned
+	s.mu.Lock()
+	s.dispatchSet = false
+	for len(s.pending) > 0 && s.workers[s.freeWorkerLocked()] <= now {
+		i := s.selectLocked(now)
+		b := s.pending[i]
+		s.pending = append(s.pending[:i], s.pending[i+1:]...)
+		ready = append(ready, assigned{b: b, adm: s.assignLocked(b.dev, len(b.frames), now, b.arrival)})
+	}
+	s.ensureDispatchLocked(now)
+	s.mu.Unlock()
+
+	for _, a := range ready {
+		labels, phis, phiMean := a.b.dev.LabelFrames(a.b.frames)
+		a.b.cb(BatchResult{
+			Labels:        labels,
+			Phis:          phis,
+			PhiMean:       phiMean,
+			Start:         a.adm.Start,
+			Done:          a.adm.Done,
+			QueueDelaySec: a.adm.QueueDelaySec,
+		})
+	}
+}
+
+// selectLocked asks the policy for the next batch among each device's
+// head-of-line batch and returns its index in s.pending. A policy returning
+// an out-of-range index falls back to the head of the queue.
+func (s *Service) selectLocked(now float64) int {
+	eligible := make([]Pending, 0, len(s.pending))
+	idx := make([]int, 0, len(s.pending))
+	seen := make(map[*ServiceDevice]bool, len(s.pending))
+	for i, b := range s.pending { // pending is in arrival (seq) order
+		if seen[b.dev] {
+			continue
+		}
+		seen[b.dev] = true
+		eligible = append(eligible, Pending{
+			Device:    b.dev.id,
+			Arrival:   b.arrival,
+			Seq:       b.seq,
+			Frames:    len(b.frames),
+			Phi:       b.dev.lastPhi,
+			ServedSec: b.dev.acc.busySec,
+			Weight:    b.dev.weight,
+		})
+		idx = append(idx, i)
+	}
+	choice := s.policy.Next(eligible, now)
+	if choice < 0 || choice >= len(idx) {
+		choice = 0
+	}
+	return idx[choice]
 }
 
 // ID returns the device's registration id.
 func (d *ServiceDevice) ID() string { return d.id }
+
+// SetWeight sets the device's fair-queueing weight (PolicyWFQ share;
+// non-positive values reset to the default 1).
+func (d *ServiceDevice) SetWeight(w float64) {
+	d.svc.mu.Lock()
+	defer d.svc.mu.Unlock()
+	if w <= 0 {
+		w = 1
+	}
+	d.weight = w
+}
 
 // Adaptive reports whether this device has a sampling-rate controller.
 func (d *ServiceDevice) Adaptive() bool { return d.ctrl != nil }
@@ -208,4 +529,8 @@ func (d *ServiceDevice) UpdateRate(phiMean, alpha, lambda float64) (rate float64
 }
 
 // Stats returns this device's queue statistics.
-func (d *ServiceDevice) Stats() QueueStats { return d.acc.snapshot() }
+func (d *ServiceDevice) Stats() QueueStats {
+	d.svc.mu.Lock()
+	defer d.svc.mu.Unlock()
+	return d.acc.snapshot()
+}

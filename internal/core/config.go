@@ -35,6 +35,17 @@ type Config struct {
 	// service, whose own configuration wins.
 	CloudQueueCap int
 
+	// CloudPolicy names the cloud scheduling policy deciding which device's
+	// batch the teacher labels next (registered in internal/cloud: "fifo",
+	// "phi-priority", "wfq", plus anything added via RegisterPolicy). Empty
+	// means FIFO, the frozen default. Ignored when the run joins a shared
+	// cloud service, whose own configuration wins.
+	CloudPolicy string
+	// CloudWorkers is the cloud teacher pipeline pool size (how many
+	// batches label concurrently in virtual time). 0 means 1, the frozen
+	// default. Ignored when the run joins a shared cloud service.
+	CloudWorkers int
+
 	// SampleRate fixes the frame sampling rate (fps). 0 means adaptive
 	// (the cloud controller drives it). Prompt uses the fixed maximum
 	// rate (2 fps); Table III sweeps fixed rates.
@@ -142,6 +153,12 @@ func (c *Config) Validate() error {
 	}
 	if c.SampleRate < 0 {
 		return fmt.Errorf("core: negative sample rate")
+	}
+	if err := cloud.ValidatePolicy(c.CloudPolicy); err != nil {
+		return err
+	}
+	if c.CloudWorkers < 0 {
+		return fmt.Errorf("core: negative cloud worker count")
 	}
 	return nil
 }

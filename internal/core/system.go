@@ -114,7 +114,12 @@ func NewSystemOpts(cfg Config, opts SystemOptions) (*System, error) {
 
 	s.cloudSvc = opts.Cloud
 	if s.cloudSvc == nil {
-		s.cloudSvc = cloud.NewService(cloud.ServiceConfig{QueueCap: cfg.CloudQueueCap})
+		s.cloudSvc = cloud.NewService(cloud.ServiceConfig{
+			QueueCap: cfg.CloudQueueCap,
+			Policy:   cfg.CloudPolicy,
+			Workers:  cfg.CloudWorkers,
+		})
+		s.cloudSvc.Bind(sched)
 	}
 	var ctrlCfg *cloud.ControllerConfig
 	if cfg.adaptive() {
@@ -324,17 +329,24 @@ func (s *System) flushBuffer(t float64) {
 	})
 }
 
-// cloudReceive is the cloud's handler for an uploaded sample batch: online
-// labeling, φ computation and the controller update are shared substrate;
-// the labeled batch is then handed to the strategy's OnCloudBatch hook. On
-// a shared service the batch contends with every other device's uploads for
-// teacher capacity — and can be dropped outright at a full queue.
+// cloudReceive is the cloud's handler for an uploaded sample batch: it
+// enqueues the batch on the labeling engine, which either drops it at a
+// full queue (nothing more happens — no labels, no rate command) or
+// eventually labels it and calls back into onBatchLabeled. Under the
+// default arrival-order policy the callback runs synchronously at arrival;
+// a reordering policy defers it to the dispatch event that serves the
+// batch.
 func (s *System) cloudReceive(frames []*video.Frame, alpha, lambda, now float64) {
+	s.cloudDev.Enqueue(frames, now, func(batch cloud.BatchResult) {
+		s.onBatchLabeled(frames, alpha, lambda, batch)
+	})
+}
+
+// onBatchLabeled handles one labeled batch: φ accounting and the controller
+// update are shared substrate; the labels are then handed to the strategy's
+// OnCloudBatch hook.
+func (s *System) onBatchLabeled(frames []*video.Frame, alpha, lambda float64, batch cloud.BatchResult) {
 	cfg := s.cfg
-	batch := s.cloudDev.Label(frames, now)
-	if batch.Dropped {
-		return
-	}
 	for _, p := range batch.Phis {
 		s.phiAll.Add(p)
 	}

@@ -124,6 +124,43 @@ func TestFigure5RenderWithSyntheticGains(t *testing.T) {
 	}
 }
 
+func TestPolicyAblationSmokeAndReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	m := Mode{Cycles: 0.1, Seed: 1} // 72 s per device: plumbing + determinism check
+	first, err := PolicyAblation(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Rows) != 6 {
+		t.Fatalf("want 3 policies x 2 worker counts = 6 rows, got %d", len(first.Rows))
+	}
+	for _, row := range first.Rows {
+		if row.Batches == 0 {
+			t.Fatalf("cell %s x %d served no batches", row.Policy, row.Workers)
+		}
+		if row.MeanMAP <= 0 {
+			t.Fatalf("cell %s x %d has no accuracy signal", row.Policy, row.Workers)
+		}
+	}
+	out := first.Render()
+	if !strings.Contains(out, "SCHEDULING ABLATION") || !strings.Contains(out, "wfq") {
+		t.Fatal("render incomplete")
+	}
+
+	// Seed-for-seed reproducibility: the whole table replays identically.
+	second, err := PolicyAblation(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Rows {
+		if first.Rows[i] != second.Rows[i] {
+			t.Fatalf("row %d not reproducible:\nfirst:  %+v\nsecond: %+v", i, first.Rows[i], second.Rows[i])
+		}
+	}
+}
+
 func TestSparkline(t *testing.T) {
 	s := sparkline([]float64{30, 30, 15, 30}, 4)
 	if len([]rune(strings.TrimSpace(s))) != 4 {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"shoggoth/internal/video"
@@ -16,6 +17,30 @@ import (
 // DefaultTimeout bounds one label/status round trip. A hung cloud must
 // surface as an error at the edge, never stall its real-time loop forever.
 const DefaultTimeout = 30 * time.Second
+
+// ErrBackpressure reports the cloud rejected a batch at a full labeling
+// queue (HTTP 429). Match it with errors.Is, or errors.As against
+// *BackpressureError for the retry hint.
+var ErrBackpressure = errors.New("rpc: cloud labeling queue full")
+
+// BackpressureError is the typed form of a 429 rejection: the cloud's
+// admission queue was full, and RetryAfter carries the server's estimate of
+// when a slot frees (zero if it sent none). An edge should hold its sample
+// buffer and try again rather than treat this as a dead cloud.
+type BackpressureError struct {
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *BackpressureError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("%v (retry after %v)", ErrBackpressure, e.RetryAfter)
+	}
+	return ErrBackpressure.Error()
+}
+
+// Unwrap lets errors.Is(err, ErrBackpressure) match.
+func (e *BackpressureError) Unwrap() error { return ErrBackpressure }
 
 // Client is the edge side of the Shoggoth protocol.
 type Client struct {
@@ -59,6 +84,13 @@ func (c *Client) Label(frames []video.Frame, alpha, lambda float64) (*LabelRespo
 		return nil, describe("label", err)
 	}
 	defer httpResp.Body.Close()
+	if httpResp.StatusCode == http.StatusTooManyRequests {
+		var retry time.Duration
+		if secs, err := strconv.Atoi(httpResp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		return nil, &BackpressureError{RetryAfter: retry}
+	}
 	if httpResp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
 		return nil, fmt.Errorf("rpc: label: %s: %s", httpResp.Status, bytes.TrimSpace(msg))

@@ -12,6 +12,7 @@
 package rpc
 
 import (
+	"shoggoth/internal/cloud"
 	"shoggoth/internal/detect"
 	"shoggoth/internal/video"
 )
@@ -36,11 +37,21 @@ type LabelResponse struct {
 	PhiMean float64
 	// NewRate is the controller's sampling-rate command (fps).
 	NewRate float64
+	// QueueDelaySec is how long the batch waited behind the cloud's modeled
+	// teacher pipeline before service began — the same contention signal the
+	// simulation's shared service reports.
+	QueueDelaySec float64
 }
 
-// StatusResponse reports cloud-side state for a device.
+// StatusResponse reports cloud-side state for a device, including the
+// scheduling engine's queue statistics: the device's own view and the
+// service-wide aggregate.
 type StatusResponse struct {
 	DeviceID      string
 	Rate          float64
 	FramesLabeled int64
+	// Queue is this device's labeling-queue statistics.
+	Queue cloud.QueueStats
+	// Cloud aggregates the whole service (every device).
+	Cloud cloud.QueueStats
 }

@@ -1,7 +1,9 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
@@ -138,25 +140,42 @@ func TestMissingDeviceIDRejected(t *testing.T) {
 	}
 }
 
-func TestStatusUnknownDeviceCreatesState(t *testing.T) {
-	srv, _ := newTestServer(t)
-	client := NewClient(srv.URL, "fresh-device")
-	s, err := client.Status()
-	if err != nil {
-		t.Fatal(err)
+// TestStatusUnknownDeviceNotFound: status is a read-only lookup. Probing an
+// id that never labeled must 404 and must not instantiate per-device state
+// (teacher + controller) — arbitrary status scans used to bloat the server.
+func TestStatusUnknownDeviceNotFound(t *testing.T) {
+	p := video.DETRACProfile()
+	server := NewServer(p, 7)
+	srv := httptest.NewServer(server.Handler())
+	t.Cleanup(srv.Close)
+
+	for i := 0; i < 5; i++ {
+		client := NewClient(srv.URL, fmt.Sprintf("probe-%d", i))
+		if _, err := client.Status(); err == nil {
+			t.Fatal("status for an unregistered device must fail")
+		} else if !strings.Contains(err.Error(), "404") {
+			t.Fatalf("want a 404, got: %v", err)
+		}
 	}
-	if s.FramesLabeled != 0 {
-		t.Fatalf("fresh device should have labeled nothing, got %d", s.FramesLabeled)
+	server.mu.Lock()
+	n := len(server.devices)
+	server.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("status probes created %d device states; status must be read-only", n)
 	}
-	if s.Rate <= 0 {
-		t.Fatal("fresh device should report the initial rate")
+	if server.svc.Devices() != 0 {
+		t.Fatalf("status probes registered %d devices on the engine", server.svc.Devices())
 	}
 }
 
 func TestEmptyBatchRejected(t *testing.T) {
-	srv, _ := newTestServer(t)
+	srv, p := newTestServer(t)
 	client := NewClient(srv.URL, "edge-empty")
 
+	// Register the device with one real batch so status has state to read.
+	if _, err := client.Label(collectFrames(p, 3, 5, 15), 0.9, 0.5); err != nil {
+		t.Fatal(err)
+	}
 	before, err := client.Status()
 	if err != nil {
 		t.Fatal(err)
@@ -173,8 +192,150 @@ func TestEmptyBatchRejected(t *testing.T) {
 	if after.Rate != before.Rate {
 		t.Fatalf("empty batch moved the rate: %v -> %v", before.Rate, after.Rate)
 	}
-	if after.FramesLabeled != 0 {
-		t.Fatalf("empty batch labeled %d frames", after.FramesLabeled)
+	if after.FramesLabeled != before.FramesLabeled {
+		t.Fatalf("empty batch labeled frames: %d -> %d", before.FramesLabeled, after.FramesLabeled)
+	}
+}
+
+// TestNonFiniteTelemetryRejected: NaN/Inf α or λ̄ from a misbehaving edge is
+// a protocol error — rejected at the boundary, never fed to the controller.
+func TestNonFiniteTelemetryRejected(t *testing.T) {
+	srv, p := newTestServer(t)
+	client := NewClient(srv.URL, "edge-nan")
+	frames := collectFrames(p, 6, 5, 15)
+
+	if _, err := client.Label(frames, 0.9, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	before, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]float64{
+		{math.NaN(), 0.5}, {0.9, math.NaN()},
+		{math.Inf(1), 0.5}, {0.9, math.Inf(-1)},
+	} {
+		if _, err := client.Label(frames, bad[0], bad[1]); err == nil {
+			t.Fatalf("non-finite telemetry %v must be rejected", bad)
+		}
+	}
+	after, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Rate != before.Rate {
+		t.Fatalf("non-finite telemetry moved the rate: %v -> %v", before.Rate, after.Rate)
+	}
+}
+
+// TestQueueCapBackpressure: with the engine's QueueCap the live path sees
+// exactly the simulation's admission control — a full queue answers 429,
+// and the client surfaces it as a typed backpressure error with the
+// server's Retry-After hint.
+func TestQueueCapBackpressure(t *testing.T) {
+	p := video.DETRACProfile()
+	srv := httptest.NewServer(NewServerOpts(p, 7, ServerOptions{QueueCap: 1}).Handler())
+	t.Cleanup(srv.Close)
+	client := NewClient(srv.URL, "edge-bp")
+	frames := collectFrames(p, 7, 20, 15)
+
+	// The first batch occupies the single queue slot: 20 frames × 45 ms of
+	// modeled teacher time keep it outstanding for ~0.9 s of real time.
+	if _, err := client.Label(frames, 0.9, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.Label(frames, 0.9, 0.5)
+	if err == nil {
+		t.Fatal("second batch must hit the full queue")
+	}
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("want ErrBackpressure, got: %v", err)
+	}
+	var bp *BackpressureError
+	if !errors.As(err, &bp) {
+		t.Fatalf("want *BackpressureError, got %T: %v", err, err)
+	}
+	if bp.RetryAfter <= 0 {
+		t.Fatalf("backpressure must carry a Retry-After hint, got %v", bp.RetryAfter)
+	}
+
+	// The drop is visible in the engine's queue statistics.
+	st, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queue.DroppedBatches != 1 || st.Cloud.DroppedBatches != 1 {
+		t.Fatalf("drop not counted: device %+v cloud %+v", st.Queue, st.Cloud)
+	}
+
+	// Once the modeled service completes, the queue admits again.
+	time.Sleep(time.Duration(float64(len(frames))*0.045*float64(time.Second)) + 100*time.Millisecond)
+	if _, err := client.Label(frames, 0.9, 0.5); err != nil {
+		t.Fatalf("queue should have drained: %v", err)
+	}
+}
+
+// TestUnknownDeviceRejectedBeforeRegistration: an unknown device hitting a
+// full queue is turned away BEFORE its teacher/controller state is built —
+// unique-id spam against an overloaded cloud must not grow the registry.
+func TestUnknownDeviceRejectedBeforeRegistration(t *testing.T) {
+	p := video.DETRACProfile()
+	server := NewServerOpts(p, 7, ServerOptions{QueueCap: 1})
+	srv := httptest.NewServer(server.Handler())
+	t.Cleanup(srv.Close)
+	frames := collectFrames(p, 7, 20, 15)
+
+	if _, err := NewClient(srv.URL, "edge-known").Label(frames, 0.9, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		_, err := NewClient(srv.URL, fmt.Sprintf("edge-spam-%d", i)).Label(frames, 0.9, 0.5)
+		if !errors.Is(err, ErrBackpressure) {
+			t.Fatalf("unknown device at a full queue must get backpressure, got: %v", err)
+		}
+	}
+	server.mu.Lock()
+	n := len(server.devices)
+	server.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("rejected unknown devices grew the registry to %d entries, want 1", n)
+	}
+	if server.svc.Devices() != 1 {
+		t.Fatalf("rejected unknown devices registered %d engine devices, want 1", server.svc.Devices())
+	}
+}
+
+// TestStatusReportsQueueStats: /v1/status carries the engine's per-device
+// and aggregate queue statistics, and the aggregate covers every device.
+func TestStatusReportsQueueStats(t *testing.T) {
+	srv, p := newTestServer(t)
+	a := NewClient(srv.URL, "edge-qa")
+	b := NewClient(srv.URL, "edge-qb")
+	frames := collectFrames(p, 8, 10, 15)
+
+	for i := 0; i < 2; i++ {
+		if _, err := a.Label(frames, 0.9, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Label(frames, 0.9, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := a.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Queue.Batches != 2 {
+		t.Fatalf("device a served %d batches, want 2", sa.Queue.Batches)
+	}
+	if sa.Queue.BusySeconds <= 0 {
+		t.Fatal("device busy seconds must accumulate")
+	}
+	if sa.Cloud.Batches != 3 {
+		t.Fatalf("aggregate served %d batches, want 3", sa.Cloud.Batches)
+	}
+	if sa.Cloud.BusySeconds < sa.Queue.BusySeconds {
+		t.Fatal("aggregate busy time cannot be below one device's")
 	}
 }
 

@@ -3,25 +3,46 @@ package rpc
 import (
 	"encoding/gob"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"shoggoth/internal/cloud"
 	"shoggoth/internal/detect"
 	"shoggoth/internal/video"
 )
 
-// Server is the cloud side: per-device teachers, labeling state and
-// sampling-rate controllers, served over HTTP. It mirrors the simulation's
-// cloud.Service design — per-device state behind per-device locks — so
-// teacher inference for unrelated devices runs concurrently; only the
-// device registry itself is globally locked.
+// ServerOptions shapes the cloud server's labeling engine.
+type ServerOptions struct {
+	// QueueCap bounds the labeling queue exactly as in the simulation
+	// (batches in modeled service plus waiting); a request arriving at a
+	// full queue is rejected with 429 and a Retry-After header. 0 means
+	// unbounded.
+	QueueCap int
+	// Workers is the teacher pipeline pool size of the engine's service
+	// model. 0 means 1.
+	Workers int
+}
+
+// Server is the cloud side: the same cloud.Service scheduling engine the
+// simulation's Cluster runs, served over HTTP. Requests are admitted
+// through the engine — so QueueCap overload surfaces as 429 backpressure
+// and queue statistics accumulate exactly as in the virtual-time model —
+// while teacher inference for unrelated devices still runs concurrently
+// behind per-device locks; only admission (engine state) and the device
+// registry are globally locked. Service order is arrival order: on a real
+// network the wire already fixed it, so the engine contributes admission
+// control, worker horizons and statistics rather than reordering.
 type Server struct {
 	profile    *video.Profile
 	labelerCfg cloud.LabelerConfig
 	ctrlCfg    cloud.ControllerConfig
 	seed       uint64
+	svc        *cloud.Service
+	start      time.Time
 
 	mu      sync.Mutex // guards the devices map only
 	devices map[string]*deviceState
@@ -33,19 +54,29 @@ type Server struct {
 // handleStatus — without ever blocking other devices.
 type deviceState struct {
 	mu      sync.Mutex
-	labeler *cloud.Labeler
-	ctrl    *cloud.Controller
+	dev     *cloud.ServiceDevice
 	labeled int64
 }
 
-// NewServer creates the cloud server for a profile.
+// NewServer creates the cloud server for a profile with an unbounded
+// labeling queue.
 func NewServer(p *video.Profile, seed uint64) *Server {
+	return NewServerOpts(p, seed, ServerOptions{})
+}
+
+// NewServerOpts is NewServer with engine options.
+func NewServerOpts(p *video.Profile, seed uint64, opts ServerOptions) *Server {
 	return &Server{
 		profile:    p,
 		labelerCfg: cloud.DefaultLabelerConfig(),
 		ctrlCfg:    cloud.DefaultControllerConfig(),
 		seed:       seed,
-		devices:    make(map[string]*deviceState),
+		svc: cloud.NewService(cloud.ServiceConfig{
+			QueueCap: opts.QueueCap,
+			Workers:  opts.Workers,
+		}),
+		start:   time.Now(),
+		devices: make(map[string]*deviceState),
 	}
 }
 
@@ -57,26 +88,40 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// now returns seconds since the server started — the engine's real-time
+// clock coordinate.
+func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
+
 // device returns (creating on first use) the per-device state. Each device
 // gets its own teacher error stream and controller, like the paper's shared
-// cloud serving many edge devices.
-func (s *Server) device(id string) *deviceState {
+// cloud serving many edge devices. Devices register on the engine lazily on
+// their first label upload — never from a status probe (lookup).
+func (s *Server) device(id string) (*deviceState, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if d, ok := s.devices[id]; ok {
-		return d
+		return d, nil
 	}
 	h := uint64(0)
 	for _, c := range id {
 		h = h*131 + uint64(c)
 	}
 	teacher := detect.NewTeacher(s.profile, rand.New(rand.NewPCG(s.seed, h)))
-	d := &deviceState{
-		labeler: cloud.NewLabeler(teacher, s.labelerCfg),
-		ctrl:    cloud.NewController(s.ctrlCfg),
+	dev, err := s.svc.Register(id, teacher, s.labelerCfg, &s.ctrlCfg)
+	if err != nil {
+		return nil, err
 	}
+	d := &deviceState{dev: dev}
 	s.devices[id] = d
-	return d
+	return d, nil
+}
+
+// lookup returns the device state if the device has ever labeled, without
+// creating anything — the read-only path of handleStatus.
+func (s *Server) lookup(id string) *deviceState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.devices[id]
 }
 
 func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
@@ -95,36 +140,89 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty Frames batch", http.StatusBadRequest)
 		return
 	}
-	d := s.device(req.DeviceID)
-
-	resp := LabelResponse{Labels: make([][]detect.TeacherLabel, len(req.Frames))}
-	d.mu.Lock()
-	var phiSum float64
-	for i := range req.Frames {
-		res := d.labeler.LabelFrame(&req.Frames[i])
-		resp.Labels[i] = res.Labels
-		phiSum += res.Phi
-		d.labeled++
+	if !cloud.IsFinite(req.Alpha) || !cloud.IsFinite(req.Lambda) {
+		// Non-finite telemetry from a misbehaving edge must never reach the
+		// controller (the controller also clamps defensively, but a NaN α
+		// is a protocol error worth surfacing at the boundary).
+		http.Error(w, "non-finite Alpha/Lambda telemetry", http.StatusBadRequest)
+		return
 	}
-	resp.PhiMean = phiSum / float64(len(req.Frames))
-	resp.NewRate = d.ctrl.Update(resp.PhiMean, req.Alpha, req.Lambda)
+	// An unknown device at a full queue is rejected before its state
+	// (teacher + controller) is allocated: unique-id spam against an
+	// overloaded cloud must not grow the registry — the same bloat hole
+	// handleStatus closes by being read-only. Advisory only; Admit below
+	// re-checks authoritatively.
+	if s.lookup(req.DeviceID) == nil && s.svc.AtCapacity(s.now()) {
+		s.rejectFull(w)
+		return
+	}
+	d, err := s.device(req.DeviceID)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("register: %v", err), http.StatusInternalServerError)
+		return
+	}
+
+	d.mu.Lock()
+	now := s.now()
+	adm, ok := d.dev.Admit(len(req.Frames), now)
+	if !ok {
+		d.mu.Unlock()
+		s.rejectFull(w)
+		return
+	}
+	frames := make([]*video.Frame, len(req.Frames))
+	for i := range req.Frames {
+		frames[i] = &req.Frames[i]
+	}
+	labels, _, phiMean := d.dev.LabelFrames(frames)
+	d.labeled += int64(len(req.Frames))
+	rate, _ := d.dev.UpdateRate(phiMean, req.Alpha, req.Lambda)
 	d.mu.Unlock()
 
+	resp := LabelResponse{
+		Labels:        labels,
+		PhiMean:       phiMean,
+		NewRate:       rate,
+		QueueDelaySec: adm.QueueDelaySec,
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := gob.NewEncoder(w).Encode(&resp); err != nil {
 		http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
 	}
 }
 
+// rejectFull answers 429 with the engine's Retry-After estimate.
+func (s *Server) rejectFull(w http.ResponseWriter) {
+	retry := int(math.Ceil(s.svc.RetryAfterSec(s.now())))
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	http.Error(w, "labeling queue full", http.StatusTooManyRequests)
+}
+
+// handleStatus is a read-only lookup: probing an unknown device id returns
+// 404 and creates no state, so arbitrary status scans cannot bloat the
+// server with teachers and controllers.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("device")
 	if id == "" {
 		http.Error(w, "missing device parameter", http.StatusBadRequest)
 		return
 	}
-	d := s.device(id)
+	d := s.lookup(id)
+	if d == nil {
+		http.Error(w, fmt.Sprintf("unknown device %q", id), http.StatusNotFound)
+		return
+	}
 	d.mu.Lock()
-	resp := StatusResponse{DeviceID: id, Rate: d.ctrl.Rate(), FramesLabeled: d.labeled}
+	resp := StatusResponse{
+		DeviceID:      id,
+		Rate:          d.dev.Rate(),
+		FramesLabeled: d.labeled,
+		Queue:         d.dev.Stats(),
+		Cloud:         s.svc.Stats(),
+	}
 	d.mu.Unlock()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := gob.NewEncoder(w).Encode(&resp); err != nil {

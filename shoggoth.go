@@ -28,6 +28,7 @@
 package shoggoth
 
 import (
+	"shoggoth/internal/cloud"
 	"shoggoth/internal/core"
 	"shoggoth/internal/detect"
 	"shoggoth/internal/metrics"
@@ -108,6 +109,12 @@ func Profiles() []*Profile { return video.StockProfiles() }
 // StrategyKinds returns every registered strategy in registration order
 // (the paper's column order for the stock five).
 func StrategyKinds() []StrategyKind { return core.StrategyKinds() }
+
+// CloudPolicies returns every registered cloud scheduling policy name in
+// registration order ("fifo", "phi-priority", "wfq", plus any registered
+// via cloud.RegisterPolicy) — the valid values of Config.CloudPolicy and
+// Cluster.Policy.
+func CloudPolicies() []string { return cloud.PolicyNames() }
 
 // ParseStrategy resolves a strategy name such as "shoggoth" or "edge-only"
 // (case-insensitive, including registered aliases).
