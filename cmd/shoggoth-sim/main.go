@@ -6,6 +6,7 @@
 //
 //	shoggoth-sim -profile ua-detrac -strategy shoggoth -duration 1440 -seed 1
 //	shoggoth-sim -profile kitti -strategy all -cycles 1 -json
+//	shoggoth-sim -list
 //
 // With -devices N (cluster mode) it instead runs N edge devices — seeds
 // seed..seed+N-1 — against ONE shared cloud labeling service on a single
@@ -14,7 +15,18 @@
 //
 //	shoggoth-sim -profile ua-detrac -strategy shoggoth -devices 8 -queue-cap 4
 //
-// The cloud's scheduling engine is configurable in both modes:
+// A -scenario (registered name) or -scenario-file (custom JSON spec) picks
+// a composed world instead of the plain profile: per-device workload
+// variants (script phase, shuffle, stretch, domain subsets) and
+// time-varying network traces (outage windows, LTE-like fading, diurnal
+// load). -devices 0 runs the scenario's natural fleet size; anything
+// larger tiles its device slices:
+//
+//	shoggoth-sim -scenario lossy-uplink -strategy shoggoth
+//	shoggoth-sim -scenario hetero-fleet -queue-cap 4 -cloud-policy wfq
+//	shoggoth-sim -scenario-file myworld.json -devices 6
+//
+// The cloud's scheduling engine is configurable in every mode:
 // -cloud-policy picks the service discipline (fifo serves in arrival
 // order — the default; phi-priority labels the most-drifted device first;
 // wfq gives every device a fair teacher share) and -cloud-workers sizes
@@ -39,25 +51,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("shoggoth-sim: ")
 
-	profileName := flag.String("profile", shoggoth.ProfileDETRAC, "dataset profile: ua-detrac, kitti or waymo")
+	profileName := flag.String("profile", shoggoth.ProfileDETRAC, "dataset profile (see -list)")
 	strategyName := flag.String("strategy", "shoggoth", "strategy: edge-only, cloud-only, prompt, ams, shoggoth or all")
+	scenarioName := flag.String("scenario", "", "registered scenario (see -list); overrides -profile")
+	scenarioFile := flag.String("scenario-file", "", "custom scenario JSON spec; overrides -scenario and -profile")
 	duration := flag.Float64("duration", 0, "stream duration in seconds (overrides -cycles)")
 	cycles := flag.Float64("cycles", 2, "stream duration in scenario-script passes")
 	seed := flag.Uint64("seed", 1, "run seed")
 	rate := flag.Float64("rate", 0, "fixed sampling rate in fps (0 = strategy default)")
 	workers := flag.Int("workers", 0, "concurrent sessions for -strategy all (0 = GOMAXPROCS)")
-	devices := flag.Int("devices", 1, "edge devices sharing one cloud labeling service (cluster mode when > 1)")
+	devices := flag.Int("devices", 0, "edge devices sharing one cloud labeling service (cluster mode when > 1; 0 = the scenario's natural size)")
 	queueCap := flag.Int("queue-cap", 0, "cloud labeling queue capacity in batches (0 = unbounded)")
 	cloudPolicy := flag.String("cloud-policy", "fifo",
 		"cloud scheduling policy: "+strings.Join(shoggoth.CloudPolicies(), ", "))
 	cloudWorkers := flag.Int("cloud-workers", 1, "cloud teacher pipeline workers (concurrent label batches)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
+	list := flag.Bool("list", false, "list registered strategies, profiles, cloud policies and scenarios, then exit")
 	verbose := flag.Bool("v", false, "print a wall-clock perf summary from the per-session workspace counters")
 	flag.Parse()
 
-	profile, err := shoggoth.ProfileByName(*profileName)
-	if err != nil {
-		log.Fatal(err)
+	if *list {
+		printRegistries()
+		return
 	}
 
 	kinds, err := parseStrategies(*strategyName)
@@ -76,14 +91,51 @@ func main() {
 		return opts
 	}
 
+	scen, err := resolveScenario(*scenarioFile, *scenarioName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if scen != nil {
+		if len(kinds) != 1 {
+			log.Fatal("a scenario needs a single -strategy (not \"all\")")
+		}
+		cfgs, err := shoggoth.ScenarioConfigs(scen, kinds[0], *devices, baseOpts(*seed)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		header := fmt.Sprintf("scenario=%s strategy=%s", scen.Name, kinds[0])
+		if len(cfgs) == 1 {
+			cfgs[0].CloudQueueCap = *queueCap
+			cfgs[0].CloudPolicy = *cloudPolicy
+			cfgs[0].CloudWorkers = *cloudWorkers
+			runFleet(cfgs, *workers, *asJSON, *verbose, header, *seed)
+			return
+		}
+		runCluster(cfgs, clusterParams{
+			queueCap: *queueCap, policy: *cloudPolicy, workers: *cloudWorkers, seed: *seed,
+		}, *asJSON, *verbose, header)
+		return
+	}
+
+	profile, err := shoggoth.ProfileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *devices > 1 {
 		if len(kinds) != 1 {
 			log.Fatal("-devices needs a single -strategy (not \"all\")")
 		}
-		runCluster(profile, kinds[0], clusterParams{
-			devices: *devices, queueCap: *queueCap,
-			policy: *cloudPolicy, workers: *cloudWorkers, seed: *seed,
-		}, baseOpts, *asJSON, *verbose)
+		cfgs := make([]shoggoth.Config, *devices)
+		for i := range cfgs {
+			cfgs[i] = shoggoth.NewConfig(kinds[0], profile, baseOpts(*seed+uint64(i))...)
+			cfgs[i].DeviceID = fmt.Sprintf("edge-%d", i+1)
+		}
+		header := fmt.Sprintf("profile=%s strategy=%s", profile.Name, kinds[0])
+		runCluster(cfgs, clusterParams{
+			queueCap: *queueCap, policy: *cloudPolicy, workers: *cloudWorkers, seed: *seed,
+		}, *asJSON, *verbose, header)
 		return
 	}
 
@@ -93,35 +145,69 @@ func main() {
 		cfgs[i].CloudPolicy = *cloudPolicy
 		cfgs[i].CloudWorkers = *cloudWorkers
 	}
+	runFleet(cfgs, *workers, *asJSON, *verbose, "profile="+profile.Name, *seed)
+}
 
+// resolveScenario loads the scenario named on the command line (a file
+// spec wins over a registered name); nil means plain-profile mode.
+func resolveScenario(file, name string) (*shoggoth.Scenario, error) {
+	if file != "" {
+		return shoggoth.LoadScenarioFile(file)
+	}
+	if name != "" {
+		return shoggoth.ScenarioByName(name)
+	}
+	return nil, nil
+}
+
+// printRegistries lists every registry with its one-line descriptions —
+// nothing here is hand-maintained; the tables come from the registries
+// themselves.
+func printRegistries() {
+	sections := []struct {
+		title   string
+		entries []shoggoth.RegistryEntry
+	}{
+		{"strategies (-strategy)", shoggoth.StrategyEntries()},
+		{"profiles (-profile)", shoggoth.ProfileEntries()},
+		{"cloud policies (-cloud-policy)", shoggoth.CloudPolicyEntries()},
+		{"scenarios (-scenario)", shoggoth.ScenarioEntries()},
+	}
+	for i, s := range sections {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("%s:\n", s.title)
+		for _, e := range s.entries {
+			fmt.Printf("  %-14s %s\n", e.Name, e.Summary)
+		}
+	}
+}
+
+// runFleet executes independent sessions on a worker pool and prints the
+// strategy table.
+func runFleet(cfgs []shoggoth.Config, workers int, asJSON, verbose bool, header string, seed uint64) {
 	// The fleet bounds concurrency and pretrains one student per profile,
 	// so every strategy deploys the identical model.
-	fleet := &shoggoth.Fleet{Workers: *workers}
-	if *verbose {
+	fleet := &shoggoth.Fleet{Workers: workers}
+	if verbose {
 		fleet.Perf = &shoggoth.PerfCounters{}
 	}
 	all, err := fleet.Run(context.Background(), cfgs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *verbose {
+	if verbose {
 		// Diagnostics only: the counters are workspace state and never feed
 		// back into Results.
-		pc := fleet.Perf
-		fmt.Fprintf(os.Stderr,
-			"perf: %d frames inferred at %.0f frames/s wall, %d train steps at %.0f steps/s wall (%d sessions)\n",
-			pc.InferFrames, pc.InferFPS(), pc.TrainSteps, pc.TrainStepsPerSec(), pc.TrainSessions)
+		printPerf(fleet.Perf)
 	}
 
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(all); err != nil {
-			log.Fatal(err)
-		}
+	if asJSON {
+		emitJSON(all)
 		return
 	}
-	fmt.Printf("profile=%s duration=%.0fs seed=%d\n\n", profile.Name, all[0].Duration, *seed)
+	fmt.Printf("%s duration=%.0fs seed=%d\n\n", header, all[0].Duration, seed)
 	fmt.Printf("%-11s %9s %9s %9s %8s %9s %9s %9s\n",
 		"strategy", "mAP@0.5", "avgIoU", "up Kbps", "dn Kbps", "fps", "sessions", "sampled")
 	for _, r := range all {
@@ -132,23 +218,16 @@ func main() {
 
 // clusterParams bundles the cluster-mode knobs.
 type clusterParams struct {
-	devices  int
 	queueCap int
 	policy   string
 	workers  int
 	seed     uint64
 }
 
-// runCluster steps N devices against one shared cloud labeling service and
-// prints per-device results plus the queue's contention statistics.
-func runCluster(profile *shoggoth.Profile, kind shoggoth.StrategyKind, p clusterParams,
-	baseOpts func(seed uint64) []shoggoth.Option, asJSON, verbose bool) {
-
-	cfgs := make([]shoggoth.Config, p.devices)
-	for i := range cfgs {
-		cfgs[i] = shoggoth.NewConfig(kind, profile, baseOpts(p.seed+uint64(i))...)
-		cfgs[i].DeviceID = fmt.Sprintf("edge-%d", i+1)
-	}
+// runCluster steps prebuilt device configs against one shared cloud
+// labeling service and prints per-device results plus the queue's
+// contention statistics.
+func runCluster(cfgs []shoggoth.Config, p clusterParams, asJSON, verbose bool, header string) {
 	cluster := &shoggoth.Cluster{QueueCap: p.queueCap, Policy: p.policy, Workers: p.workers}
 	if verbose {
 		cluster.Perf = &shoggoth.PerfCounters{}
@@ -158,18 +237,11 @@ func runCluster(profile *shoggoth.Profile, kind shoggoth.StrategyKind, p cluster
 		log.Fatal(err)
 	}
 	if verbose {
-		pc := cluster.Perf
-		fmt.Fprintf(os.Stderr,
-			"perf: %d frames inferred at %.0f frames/s wall, %d train steps at %.0f steps/s wall (%d sessions)\n",
-			pc.InferFrames, pc.InferFPS(), pc.TrainSteps, pc.TrainStepsPerSec(), pc.TrainSessions)
+		printPerf(cluster.Perf)
 	}
 
 	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			log.Fatal(err)
-		}
+		emitJSON(res)
 		return
 	}
 	policy := p.policy
@@ -180,19 +252,34 @@ func runCluster(profile *shoggoth.Profile, kind shoggoth.StrategyKind, p cluster
 	if workers < 1 {
 		workers = 1
 	}
-	fmt.Printf("profile=%s strategy=%s devices=%d duration=%.0fs seeds=%d..%d queue-cap=%d policy=%s workers=%d\n\n",
-		profile.Name, kind, p.devices, res.Devices[0].Duration, p.seed, p.seed+uint64(p.devices)-1, p.queueCap, policy, workers)
-	fmt.Printf("%-8s %9s %9s %8s %9s %9s %9s %10s %10s\n",
-		"device", "mAP@0.5", "up Kbps", "fps", "sessions", "batches", "dropped", "qdelay(s)", "qmax(s)")
+	n := len(cfgs)
+	fmt.Printf("%s devices=%d duration=%.0fs seeds=%d..%d queue-cap=%d policy=%s workers=%d\n\n",
+		header, n, res.Devices[0].Duration, p.seed, p.seed+uint64(n)-1, p.queueCap, policy, workers)
+	fmt.Printf("%-8s %-10s %9s %9s %8s %9s %9s %9s %10s %10s\n",
+		"device", "profile", "mAP@0.5", "up Kbps", "fps", "sessions", "batches", "dropped", "qdelay(s)", "qmax(s)")
 	for _, r := range res.Devices {
-		fmt.Printf("%-8s %8.1f%% %9.0f %8.1f %9d %9d %9d %10.3f %10.3f\n",
-			r.Device, r.MAP50*100, r.UpKbps, r.AvgFPS, r.Sessions,
+		fmt.Printf("%-8s %-10s %8.1f%% %9.0f %8.1f %9d %9d %9d %10.3f %10.3f\n",
+			r.Device, r.Profile, r.MAP50*100, r.UpKbps, r.AvgFPS, r.Sessions,
 			r.CloudBatches, r.CloudDroppedBatches, r.CloudQueueDelayMeanSec, r.CloudQueueDelayMaxSec)
 	}
 	c := res.Cloud
 	fmt.Printf("\ncloud: %d batches (%d dropped), queue delay mean %.3fs max %.3fs, teacher busy %.1fs (%.1f%% utilization)\n",
 		c.Batches, c.DroppedBatches, c.QueueDelayMeanSec, c.QueueDelayMaxSec,
 		c.BusySeconds, res.Utilization()*100)
+}
+
+func printPerf(pc *shoggoth.PerfCounters) {
+	fmt.Fprintf(os.Stderr,
+		"perf: %d frames inferred at %.0f frames/s wall, %d train steps at %.0f steps/s wall (%d sessions)\n",
+		pc.InferFrames, pc.InferFPS(), pc.TrainSteps, pc.TrainStepsPerSec(), pc.TrainSessions)
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func parseStrategies(name string) ([]shoggoth.StrategyKind, error) {

@@ -1,10 +1,12 @@
 // Quickstart: run the Shoggoth strategy on the UA-DETRAC-like profile for a
 // few minutes of stream time and print the paper's headline metrics.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart              # one scenario-script pass
+//	go run ./examples/quickstart -cycles .1   # quick smoke (CI runs this)
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,6 +14,9 @@ import (
 )
 
 func main() {
+	cycles := flag.Float64("cycles", 1, "stream duration in scenario-script passes")
+	flag.Parse()
+
 	profile, err := shoggoth.ProfileByName(shoggoth.ProfileDETRAC)
 	if err != nil {
 		log.Fatal(err)
@@ -19,7 +24,7 @@ func main() {
 
 	// One pass of the drifting scenario (sunny → cloudy → rainy → night …).
 	cfg := shoggoth.NewConfig(shoggoth.Shoggoth, profile,
-		shoggoth.WithCycles(1), shoggoth.WithSeed(1))
+		shoggoth.WithCycles(*cycles), shoggoth.WithSeed(1))
 
 	fmt.Println("running Shoggoth on", profile.Name, "for", cfg.DurationSec, "seconds of stream time…")
 	res, err := shoggoth.Run(cfg)

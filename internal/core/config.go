@@ -65,6 +65,15 @@ type Config struct {
 	Downlink   netsim.Link
 	Codec      netsim.Codec
 
+	// UplinkTrace/DownlinkTrace, when set, replace the constant Uplink and
+	// Downlink links with time-varying network models (outage windows,
+	// LTE-like fading, diurnal load — see internal/netsim). Nil means the
+	// constant link, the frozen default: transfer times are then
+	// bit-identical to the pre-trace scalar model. Traces must honour the
+	// netsim determinism contract (pure functions of virtual time).
+	UplinkTrace   netsim.Trace
+	DownlinkTrace netsim.Trace
+
 	// Pretrained, when set, is cloned as the deployed student instead of
 	// pretraining from scratch (lets experiment harnesses pretrain once per
 	// profile and hand every strategy the identical model).
@@ -160,5 +169,57 @@ func (c *Config) Validate() error {
 	if c.CloudWorkers < 0 {
 		return fmt.Errorf("core: negative cloud worker count")
 	}
+	if err := c.validateLink("uplink", c.Uplink, c.UplinkTrace); err != nil {
+		return err
+	}
+	if err := c.validateLink("downlink", c.Downlink, c.DownlinkTrace); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validateLink rejects a dead constant link: Link.TransferSeconds treats a
+// non-positive bandwidth as infinitely fast (a documented test-only escape
+// hatch), so a misconfigured deployment would silently get a perfect
+// network instead of a broken one. With a trace installed the constant link
+// fields are unused (trace constructors enforce their own positivity).
+func (c *Config) validateLink(dir string, l netsim.Link, trace netsim.Trace) error {
+	if trace != nil {
+		return nil
+	}
+	if l.BandwidthBps <= 0 {
+		return fmt.Errorf("core: non-positive %s bandwidth %g bps (a dead link must not become a free one; set a positive rate or install a trace)", dir, l.BandwidthBps)
+	}
+	if l.LatencySec < 0 {
+		return fmt.Errorf("core: negative %s latency %g s", dir, l.LatencySec)
+	}
+	return nil
+}
+
+// uplink returns the effective uplink network model.
+func (c *Config) uplink() netsim.Trace {
+	if c.UplinkTrace != nil {
+		return c.UplinkTrace
+	}
+	return c.Uplink
+}
+
+// downlink returns the effective downlink network model.
+func (c *Config) downlink() netsim.Trace {
+	if c.DownlinkTrace != nil {
+		return c.DownlinkTrace
+	}
+	return c.Downlink
+}
+
+// UplinkTransfer returns the uplink delivery time of a message sent at
+// virtual time now (time-varying under a trace; constant otherwise).
+func (c *Config) UplinkTransfer(bytes int, now float64) float64 {
+	return netsim.TransferSeconds(c.uplink(), bytes, now)
+}
+
+// DownlinkTransfer returns the downlink delivery time of a message sent at
+// virtual time now.
+func (c *Config) DownlinkTransfer(bytes int, now float64) float64 {
+	return netsim.TransferSeconds(c.downlink(), bytes, now)
 }

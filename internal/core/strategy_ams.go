@@ -57,7 +57,7 @@ func (st *amsStrategy) OnTrainDue(batch []detect.LabeledRegion, now float64) {
 		sys.AddSession()
 		bytes := netsim.ModelUpdateBytes()
 		sys.Usage().AddDown(bytes)
-		arrive := endNow + cfg.Downlink.TransferSeconds(bytes)
+		arrive := endNow + cfg.DownlinkTransfer(bytes, endNow)
 		sys.Scheduler().At(arrive, func(applyNow float64) {
 			st.applyUpdate()
 			sys.RecordSession(SessionRecord{Start: start, End: endNow, Applied: applyNow})

@@ -33,9 +33,10 @@ func (st *cloudOnlyStrategy) OnFrame(f *video.Frame, t, dt float64) {
 	sys.Usage().AddDown(down)
 
 	if t >= st.cloudFreeAt {
-		rt := cfg.Uplink.TransferSeconds(up) +
+		upSec := cfg.UplinkTransfer(up, t)
+		rt := upSec +
 			cfg.Labeler.TeacherLatencySec +
-			cfg.Downlink.TransferSeconds(down)
+			cfg.DownlinkTransfer(down, t+upSec+cfg.Labeler.TeacherLatencySec)
 		st.cloudFreeAt = t + rt
 		st.lastRoundTrip = rt
 		teacher := sys.Teacher()

@@ -43,7 +43,7 @@ func (st *edgeTrainStrategy) OnCloudBatch(frames []*video.Frame, labels [][]dete
 	}
 	lb := netsim.LabelSetBytes(nRegions)
 	sys.Usage().AddDown(lb)
-	at := done + cfg.Downlink.TransferSeconds(lb)
+	at := done + cfg.DownlinkTransfer(lb, done)
 	sys.Scheduler().At(at, func(labNow float64) {
 		sys.DepositLabels(frames, labels, labNow)
 	})

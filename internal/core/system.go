@@ -323,7 +323,9 @@ func (s *System) flushBuffer(t float64) {
 
 	alpha := s.drainAlpha()
 	lambda := s.device.DrainUsageReport()
-	arrive := t + encSec + cfg.Uplink.TransferSeconds(bytes)
+	// The upload hits the network once encoding finishes; a time-varying
+	// uplink trace prices it at that moment, not at the flush.
+	arrive := t + encSec + cfg.UplinkTransfer(bytes, t+encSec)
 	s.sched.At(arrive, func(now float64) {
 		s.cloudReceive(frames, alpha, lambda, now)
 	})
@@ -353,7 +355,7 @@ func (s *System) onBatchLabeled(frames []*video.Frame, alpha, lambda float64, ba
 
 	if rate, ok := s.cloudDev.UpdateRate(batch.PhiMean, alpha, lambda); ok {
 		s.usage.AddDown(netsim.RateCommandBytes())
-		at := batch.Done + cfg.Downlink.TransferSeconds(netsim.RateCommandBytes())
+		at := batch.Done + cfg.DownlinkTransfer(netsim.RateCommandBytes(), batch.Done)
 		s.sched.At(at, func(cmdNow float64) {
 			s.sampler.SetRate(rate)
 			pt := RatePoint{Time: cmdNow, Rate: rate}

@@ -1,12 +1,21 @@
 package netsim
 
-// Link models one direction of the edge↔cloud connection.
+// Link models one direction of the edge↔cloud connection at a constant
+// rate and latency. It doubles as the constant Trace (see trace.go), which
+// is what simulated deployments actually price transfers through.
 type Link struct {
 	BandwidthBps float64 // bits per second
 	LatencySec   float64 // one-way propagation + queuing latency
 }
 
 // TransferSeconds returns the time to deliver a message of the given size.
+//
+// Zero-value escape hatch, tests only: a non-positive BandwidthBps makes
+// the link infinitely fast (latency-only transfers) so unit tests can pin
+// exact event times without modelling bandwidth. Deployment configs must
+// never rely on it — a misconfigured dead link would silently become a
+// perfect one — so core.Config.Validate rejects non-positive bandwidth and
+// every Trace constructor rejects a non-positive base rate.
 func (l Link) TransferSeconds(bytes int) float64 {
 	if l.BandwidthBps <= 0 {
 		return l.LatencySec

@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstantTraceBitIdenticalToLink(t *testing.T) {
+	links := []Link{
+		DefaultUplink(),
+		DefaultDownlink(),
+		{BandwidthBps: 8e6, LatencySec: 0.05},
+		{BandwidthBps: 1.5e5, LatencySec: 0},
+	}
+	for _, l := range links {
+		for _, bytes := range []int{1, 500, 1_000_000, 37_431} {
+			for _, now := range []float64{0, 1.5, 7200.25} {
+				got := TransferSeconds(l, bytes, now)
+				want := l.TransferSeconds(bytes)
+				if got != want {
+					t.Fatalf("constant trace diverged from Link: %v vs %v (link %+v, %d bytes, now %v)",
+						got, want, l, bytes, now)
+				}
+			}
+		}
+	}
+}
+
+func TestStepTraceOutageStallsTransfer(t *testing.T) {
+	base := Link{BandwidthBps: 8e6, LatencySec: 0.05}
+	// Full outage during [10, 20).
+	tr, err := NewStepTrace(base, []Window{{StartSec: 10, EndSec: 20, RateBps: 0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MB at 8 Mbps = 1 s; started at 5 it finishes before the outage.
+	if got := TransferSeconds(tr, 1_000_000, 5); math.Abs(got-1.05) > 1e-9 {
+		t.Fatalf("pre-outage transfer: got %v want 1.05", got)
+	}
+	// Started at 9.5: 0.5 s transfers half the bits, then a 10 s stall, then
+	// the remaining 0.5 s — 11 s plus latency.
+	if got := TransferSeconds(tr, 1_000_000, 9.5); math.Abs(got-11.05) > 1e-9 {
+		t.Fatalf("outage-spanning transfer: got %v want 11.05", got)
+	}
+	// Started inside the outage: stalls until 20, then 1 s.
+	if got := TransferSeconds(tr, 1_000_000, 15); math.Abs(got-6.05) > 1e-9 {
+		t.Fatalf("in-outage transfer: got %v want 6.05", got)
+	}
+}
+
+func TestStepTracePeriodicWindows(t *testing.T) {
+	base := Link{BandwidthBps: 1e6, LatencySec: 0}
+	tr, err := NewStepTrace(base, []Window{{StartSec: 30, EndSec: 40, RateBps: 2e6}}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pattern repeats: rate at 35 equals rate at 60k+35 for any cycle.
+	for _, cycle := range []float64{0, 60, 600, 6000} {
+		if got := tr.RateAt(cycle + 35); got != 2e6 {
+			t.Fatalf("rate inside window at cycle offset %v: got %v", cycle, got)
+		}
+		if got := tr.RateAt(cycle + 5); got != 1e6 {
+			t.Fatalf("rate outside window at cycle offset %v: got %v", cycle, got)
+		}
+	}
+	// A transfer spanning a boosted window beats the base-rate estimate.
+	slow := TransferSeconds(base, 5_000_000, 25)
+	fast := TransferSeconds(tr, 5_000_000, 25)
+	if fast >= slow {
+		t.Fatalf("boost window must shorten the transfer: %v vs %v", fast, slow)
+	}
+}
+
+func TestLTETraceDeterministicAndBounded(t *testing.T) {
+	base := Link{BandwidthBps: 4e6, LatencySec: 0.06}
+	a, err := NewLTETrace(base, 10, 0.25, 1.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewLTETrace(base, 10, 0.25, 1.5, 42)
+	c, _ := NewLTETrace(base, 10, 0.25, 1.5, 43)
+	seedsDiffer := false
+	for i := 0; i < 100; i++ {
+		at := float64(i) * 7.3
+		ra := a.RateAt(at)
+		if ra != b.RateAt(at) {
+			t.Fatal("identically-seeded LTE traces must agree at every time")
+		}
+		if ra < base.BandwidthBps*0.25 || ra > base.BandwidthBps*1.5 {
+			t.Fatalf("rate %v outside factor bounds", ra)
+		}
+		if ra != c.RateAt(at) {
+			seedsDiffer = true
+		}
+	}
+	if !seedsDiffer {
+		t.Fatal("different seeds should produce different fading patterns")
+	}
+	// Pure function of time: sampling out of order changes nothing.
+	forward := []float64{a.RateAt(3), a.RateAt(13), a.RateAt(23)}
+	if a.RateAt(23) != forward[2] || a.RateAt(3) != forward[0] {
+		t.Fatal("rate must not depend on sampling order")
+	}
+}
+
+func TestDiurnalTraceDipsAtHalfPeriod(t *testing.T) {
+	base := Link{BandwidthBps: 6e6, LatencySec: 0.05}
+	tr, err := NewDiurnalTrace(base, 720, 30, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := tr.RateAt(0)
+	trough := tr.RateAt(360)
+	if peak != base.BandwidthBps {
+		t.Fatalf("off-peak rate should equal the base: %v", peak)
+	}
+	if math.Abs(trough-base.BandwidthBps*0.5) > base.BandwidthBps*0.01 {
+		t.Fatalf("trough should dip to base*(1-depth): %v", trough)
+	}
+	// Transfers at the trough take longer than at the peak.
+	if TransferSeconds(tr, 500_000, 360) <= TransferSeconds(tr, 500_000, 0) {
+		t.Fatal("congested-period transfer should be slower")
+	}
+}
+
+func TestTraceConstructorsRejectNonPositiveBandwidth(t *testing.T) {
+	dead := Link{BandwidthBps: 0, LatencySec: 0.05}
+	if _, err := NewStepTrace(dead, nil, 0); err == nil {
+		t.Fatal("step trace must reject a dead base link")
+	}
+	if _, err := NewLTETrace(dead, 10, 0.5, 1, 1); err == nil {
+		t.Fatal("lte trace must reject a dead base link")
+	}
+	if _, err := NewDiurnalTrace(dead, 720, 30, 0.5); err == nil {
+		t.Fatal("diurnal trace must reject a dead base link")
+	}
+	neg := Link{BandwidthBps: -1, LatencySec: 0.05}
+	if _, err := NewStepTrace(neg, nil, 0); err == nil {
+		t.Fatal("step trace must reject negative bandwidth")
+	}
+	if _, err := NewStepTrace(Link{BandwidthBps: 1e6, LatencySec: -0.1}, nil, 0); err == nil {
+		t.Fatal("step trace must reject negative latency")
+	}
+}
+
+func TestTraceConstructorsRejectMalformedShapes(t *testing.T) {
+	base := Link{BandwidthBps: 1e6}
+	if _, err := NewStepTrace(base, []Window{{StartSec: 5, EndSec: 5}}, 0); err == nil {
+		t.Fatal("empty window must be rejected")
+	}
+	if _, err := NewStepTrace(base, []Window{{StartSec: 0, EndSec: 10}, {StartSec: 5, EndSec: 15}}, 0); err == nil {
+		t.Fatal("overlapping windows must be rejected")
+	}
+	if _, err := NewStepTrace(base, []Window{{StartSec: 50, EndSec: 70}}, 60); err == nil {
+		t.Fatal("window outside the period must be rejected")
+	}
+	if _, err := NewStepTrace(base, []Window{{StartSec: 0, EndSec: 1, RateBps: -5}}, 0); err == nil {
+		t.Fatal("negative window rate must be rejected")
+	}
+	if _, err := NewLTETrace(base, 0, 0.5, 1, 1); err == nil {
+		t.Fatal("non-positive lte step must be rejected")
+	}
+	if _, err := NewLTETrace(base, 10, 0, 1, 1); err == nil {
+		t.Fatal("zero min factor must be rejected")
+	}
+	if _, err := NewLTETrace(base, 10, 1.5, 1.0, 1); err == nil {
+		t.Fatal("min > max must be rejected")
+	}
+	if _, err := NewDiurnalTrace(base, 720, 30, 1.0); err == nil {
+		t.Fatal("depth 1 (zero trough rate) must be rejected")
+	}
+	if _, err := NewDiurnalTrace(base, 0, 30, 0.5); err == nil {
+		t.Fatal("non-positive period must be rejected")
+	}
+}
+
+func TestTransferSecondsIntegratesExactly(t *testing.T) {
+	// Rate 1 Mbps for 4 s, then 2 Mbps: 1 MB = 8 Mbit = 4 s at 1 Mbps
+	// (4 Mbit) + 2 s at 2 Mbps (4 Mbit) = 6 s + latency.
+	base := Link{BandwidthBps: 2e6, LatencySec: 0.1}
+	tr, err := NewStepTrace(base, []Window{{StartSec: 0, EndSec: 4, RateBps: 1e6}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TransferSeconds(tr, 1_000_000, 0); math.Abs(got-6.1) > 1e-9 {
+		t.Fatalf("piecewise integral: got %v want 6.1", got)
+	}
+}

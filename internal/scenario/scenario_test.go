@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"shoggoth/internal/core"
+	"shoggoth/internal/netsim"
+	"shoggoth/internal/strategy"
+	"shoggoth/internal/video"
+)
+
+func TestStockScenariosRegisteredAndValid(t *testing.T) {
+	want := []string{"steady", "rush-hour", "day-night", "lossy-uplink", "degraded-cell", "hetero-fleet"}
+	names := Names()
+	if len(names) < len(want) {
+		t.Fatalf("expected at least %d stock scenarios, got %v", len(want), names)
+	}
+	for i, name := range want {
+		if names[i] != name {
+			t.Fatalf("stock scenario %d: got %q want %q", i, names[i], name)
+		}
+		sc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Summary == "" {
+			t.Fatalf("scenario %s has no summary", name)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("stock scenario %s invalid: %v", name, err)
+		}
+	}
+	if Summary("lossy-uplink") == "" {
+		t.Fatal("Summary lookup failed")
+	}
+	if _, err := ByName("no-such-world"); err == nil || !strings.Contains(err.Error(), "steady") {
+		t.Fatalf("unknown scenario error should list known names, got %v", err)
+	}
+}
+
+func TestSteadyConfigsEqualDefaults(t *testing.T) {
+	sc, err := ByName("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := sc.Configs(core.Shoggoth, 1, strategy.WithSeed(1), strategy.WithCycles(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 1 {
+		t.Fatalf("steady natural size is 1, got %d", len(cfgs))
+	}
+	def := strategy.Configure(core.Shoggoth, video.DETRACProfile(),
+		strategy.WithSeed(1), strategy.WithCycles(1))
+	got := cfgs[0]
+	if got.UplinkTrace != nil || got.DownlinkTrace != nil {
+		t.Fatal("steady must keep the constant default links (nil traces)")
+	}
+	if got.Uplink != def.Uplink || got.Downlink != def.Downlink {
+		t.Fatal("steady must keep the calibrated link parameters")
+	}
+	if got.DurationSec != def.DurationSec || got.Seed != def.Seed {
+		t.Fatal("steady must keep the default duration and seed")
+	}
+	if got.Profile.Name != def.Profile.Name || len(got.Profile.Script) != len(def.Profile.Script) {
+		t.Fatal("steady must keep the unmodified base profile")
+	}
+}
+
+func TestConfigsTileSlicesAndOffsetSeeds(t *testing.T) {
+	sc, err := ByName("hetero-fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NaturalDevices() != 3 {
+		t.Fatalf("hetero-fleet natural size: %d", sc.NaturalDevices())
+	}
+	cfgs, err := sc.Configs(core.Shoggoth, 5, strategy.WithSeed(10), strategy.WithCycles(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 5 {
+		t.Fatalf("asked for 5 devices, got %d", len(cfgs))
+	}
+	wantProfiles := []string{"ua-detrac", "kitti", "waymo", "ua-detrac", "kitti"}
+	for i, cfg := range cfgs {
+		if cfg.Profile.Name != wantProfiles[i] {
+			t.Fatalf("device %d profile: got %s want %s", i, cfg.Profile.Name, wantProfiles[i])
+		}
+		if cfg.Seed != 10+uint64(i) {
+			t.Fatalf("device %d seed: got %d", i, cfg.Seed)
+		}
+		if cfg.DurationSec != cfgs[0].DurationSec {
+			t.Fatal("cluster devices must share one duration")
+		}
+		if cfg.DeviceID == "" {
+			t.Fatal("devices must be named")
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("device %d config invalid: %v", i, err)
+		}
+	}
+	// Slice 1 is phase-shifted kitti: same script duration, rotated script.
+	kitti := video.KITTIProfile()
+	if cfgs[1].Profile.ScriptDuration() != kitti.ScriptDuration() {
+		t.Fatal("phase shift must preserve the kitti script duration")
+	}
+	if cfgs[1].Profile.DomainIndexAt(0) != kitti.DomainIndexAt(90) {
+		t.Fatal("kitti slice should be phase-shifted by 90 s")
+	}
+}
+
+func TestConfigsInstallTraces(t *testing.T) {
+	for name, dir := range map[string]string{"lossy-uplink": "up", "degraded-cell": "both", "rush-hour": "up"} {
+		sc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs, err := sc.Configs(core.Shoggoth, 1, strategy.WithCycles(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cfgs[0]
+		if cfg.UplinkTrace == nil {
+			t.Fatalf("%s: expected an uplink trace", name)
+		}
+		if dir == "both" && cfg.DownlinkTrace == nil {
+			t.Fatalf("%s: expected a downlink trace", name)
+		}
+		if dir == "up" && cfg.DownlinkTrace != nil {
+			t.Fatalf("%s: downlink should stay constant", name)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s config invalid: %v", name, err)
+		}
+	}
+	// The lossy uplink actually stalls transfers inside the outage window.
+	sc, _ := ByName("lossy-uplink")
+	cfgs, _ := sc.Configs(core.Shoggoth, 1)
+	stalled := netsim.TransferSeconds(cfgs[0].UplinkTrace, 50_000, 80)
+	clear := netsim.TransferSeconds(cfgs[0].UplinkTrace, 50_000, 0)
+	if stalled <= clear {
+		t.Fatalf("transfer inside the blackout should be slower: %v vs %v", stalled, clear)
+	}
+}
+
+func TestRegisterRejectsInvalidAndDuplicate(t *testing.T) {
+	if err := Register(Scenario{Name: ""}); err == nil {
+		t.Fatal("nameless scenario must be rejected")
+	}
+	if err := Register(Scenario{Name: "bad-profile", Profile: "nope"}); err == nil {
+		t.Fatal("unknown profile must be rejected")
+	}
+	if err := Register(Scenario{
+		Name:    "bad-subset",
+		Devices: []DeviceSpec{{Workload: video.ScriptTransform{Domains: []int{77}}}},
+	}); err == nil {
+		t.Fatal("invalid domain subset must be rejected at registration")
+	}
+	if err := Register(Scenario{
+		Name:    "bad-trace",
+		Network: NetworkSpec{Up: &TraceSpec{Kind: "warp"}},
+	}); err == nil {
+		t.Fatal("unknown trace kind must be rejected")
+	}
+	if err := Register(Scenario{
+		Name:    "dead-link",
+		Network: NetworkSpec{Up: &TraceSpec{Kind: TraceConstant, BandwidthBps: -1}},
+	}); err == nil {
+		t.Fatal("non-positive constant bandwidth must be rejected")
+	}
+	if err := Register(Scenario{Name: "STEADY"}); err == nil {
+		t.Fatal("duplicate name (case-insensitive) must be rejected")
+	}
+}
+
+func TestLoadJSONScenario(t *testing.T) {
+	spec := `{
+	  "name": "custom-outage",
+	  "summary": "kitti behind a flaky cell",
+	  "profile": "kitti",
+	  "devices": [
+	    {"workload": {"phase_sec": 60}},
+	    {"network": {"up": {"kind": "lte", "bandwidth_bps": 2e6, "seed": 5}}}
+	  ],
+	  "network": {
+	    "up": {"kind": "step", "period_sec": 60,
+	           "windows": [{"start_sec": 40, "end_sec": 50, "rate_bps": 0}]}
+	  }
+	}`
+	sc, err := Load(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "custom-outage" || len(sc.Devices) != 2 {
+		t.Fatalf("loaded scenario malformed: %+v", sc)
+	}
+	cfgs, err := sc.Configs(core.Shoggoth, 2, strategy.WithCycles(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device 0 inherits the scenario-wide step trace; device 1's own
+	// network spec overrides it with the LTE cell.
+	if _, ok := cfgs[0].UplinkTrace.(*netsim.StepTrace); !ok {
+		t.Fatalf("device 0 should ride the step trace, got %T", cfgs[0].UplinkTrace)
+	}
+	if _, ok := cfgs[1].UplinkTrace.(*netsim.LTETrace); !ok {
+		t.Fatalf("device 1 should override with the lte trace, got %T", cfgs[1].UplinkTrace)
+	}
+	if cfgs[0].Profile.DomainIndexAt(0) != video.KITTIProfile().DomainIndexAt(60) {
+		t.Fatal("device 0 workload phase not applied")
+	}
+
+	if _, err := Load(strings.NewReader(`{"name": "x", "nope": 1}`)); err == nil {
+		t.Fatal("unknown JSON fields must be rejected")
+	}
+	if _, err := Load(strings.NewReader(`{"summary": "nameless"}`)); err == nil {
+		t.Fatal("nameless JSON scenario must be rejected")
+	}
+}
+
+func TestByNameReturnsIsolatedCopies(t *testing.T) {
+	a, err := ByName("lossy-uplink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Network.Up.Windows[0].EndSec = 999
+	a.Summary = "mutated"
+	b, _ := ByName("lossy-uplink")
+	if b.Network.Up.Windows[0].EndSec == 999 || b.Summary == "mutated" {
+		t.Fatal("registry state leaked through a ByName copy")
+	}
+}

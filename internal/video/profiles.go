@@ -1,6 +1,11 @@
 package video
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
 
 // Stock profile names.
 const (
@@ -9,24 +14,107 @@ const (
 	ProfileWaymo  = "waymo"
 )
 
-// ProfileByName returns a freshly-built stock profile.
-func ProfileByName(name string) (*Profile, error) {
-	switch name {
-	case ProfileDETRAC:
-		return DETRACProfile(), nil
-	case ProfileKITTI:
-		return KITTIProfile(), nil
-	case ProfileWaymo:
-		return WaymoProfile(), nil
-	default:
-		return nil, fmt.Errorf("video: unknown profile %q (want %s, %s or %s)",
-			name, ProfileDETRAC, ProfileKITTI, ProfileWaymo)
+// ProfileInfo describes one registered profile for help text and reports.
+type ProfileInfo struct {
+	Name    string
+	Summary string
+}
+
+type profileEntry struct {
+	name    string
+	summary string
+	factory func() *Profile
+}
+
+var (
+	profileMu     sync.RWMutex
+	profileReg    []profileEntry
+	profileByName map[string]int
+)
+
+// RegisterProfile adds a dataset profile to the registry, mirroring the
+// strategy and cloud-policy registries: anything listing or resolving
+// profiles reads this table, so a new workload needs zero edits elsewhere.
+// Names are case-insensitive and must be unique; the factory must return a
+// fresh profile per call.
+func RegisterProfile(name, summary string, factory func() *Profile) error {
+	if name == "" || factory == nil {
+		return fmt.Errorf("video: profile registration needs a name and a factory")
+	}
+	profileMu.Lock()
+	defer profileMu.Unlock()
+	if profileByName == nil {
+		profileByName = make(map[string]int)
+	}
+	key := strings.ToLower(name)
+	if _, dup := profileByName[key]; dup {
+		return fmt.Errorf("video: profile %q already registered", name)
+	}
+	profileByName[key] = len(profileReg)
+	// The registered casing is preserved for listings (lookup stays
+	// case-insensitive), matching the scenario and policy registries.
+	profileReg = append(profileReg, profileEntry{name: name, summary: summary, factory: factory})
+	return nil
+}
+
+// MustRegisterProfile is RegisterProfile for init blocks; it panics on
+// conflicts.
+func MustRegisterProfile(name, summary string, factory func() *Profile) {
+	if err := RegisterProfile(name, summary, factory); err != nil {
+		panic(err)
 	}
 }
 
-// StockProfiles returns all three dataset profiles in paper order.
+// ProfileByName returns a freshly-built registered profile
+// (case-insensitive).
+func ProfileByName(name string) (*Profile, error) {
+	profileMu.RLock()
+	i, ok := profileByName[strings.ToLower(strings.TrimSpace(name))]
+	var entry profileEntry
+	if ok {
+		entry = profileReg[i]
+	} else {
+		known := make([]string, 0, len(profileReg))
+		for _, e := range profileReg {
+			known = append(known, e.name)
+		}
+		profileMu.RUnlock()
+		sort.Strings(known)
+		return nil, fmt.Errorf("video: unknown profile %q (want %s)", name, strings.Join(known, ", "))
+	}
+	profileMu.RUnlock()
+	return entry.factory(), nil
+}
+
+// ProfileInfos returns every registered profile's name and one-line summary
+// in registration order (the paper's three datasets first).
+func ProfileInfos() []ProfileInfo {
+	profileMu.RLock()
+	defer profileMu.RUnlock()
+	out := make([]ProfileInfo, len(profileReg))
+	for i, e := range profileReg {
+		out[i] = ProfileInfo{Name: e.name, Summary: e.summary}
+	}
+	return out
+}
+
+// StockProfiles returns the paper's three dataset profiles in paper order.
+// The registry may hold more (that is the point of it); the paper's
+// artefacts always compare exactly these.
 func StockProfiles() []*Profile {
 	return []*Profile{DETRACProfile(), KITTIProfile(), WaymoProfile()}
+}
+
+func init() {
+	MustRegisterProfile(ProfileDETRAC,
+		"dense urban traffic cameras, four vehicle classes, strong day/weather/night drift (UA-DETRAC)",
+		DETRACProfile)
+	MustRegisterProfile(ProfileKITTI,
+		"suburban driving, single car class, mild daylight-only drift (KITTI)",
+		KITTIProfile)
+	MustRegisterProfile(ProfileWaymo,
+		"mixed urban scenes with pedestrians and cyclists, rapid scene changes (Waymo Open)",
+		WaymoProfile)
 }
 
 // DETRACProfile approximates UA-DETRAC: dense urban traffic cameras, four

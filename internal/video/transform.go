@@ -1,0 +1,143 @@
+package video
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// ScriptTransform rewrites a profile's scenario script — and only the
+// script. Domains, prototypes, pretraining coverage and the profile seed
+// are untouched, so a transformed variant drifts through the same world in
+// a different order and deploys the *identical* offline-pretrained student
+// as its base profile (pretraining never reads the script). That invariant
+// is what lets heterogeneous fleets share one pretrained-student cache slot
+// per base profile.
+//
+// Transforms compose in a fixed order: domain subset, then shuffle, then
+// stretch, then phase. The zero value is the identity.
+type ScriptTransform struct {
+	// PhaseSec rotates the script so stream time 0 lands PhaseSec into one
+	// pass — a camera that entered the same world earlier. Values wrap
+	// modulo the (post-stretch) script duration; negative phases rotate
+	// backwards.
+	PhaseSec float64 `json:"phase_sec,omitempty"`
+	// Stretch multiplies every segment duration (a slower or faster drift
+	// cadence). Zero means 1 (identity); negative values are rejected.
+	Stretch float64 `json:"stretch,omitempty"`
+	// ShuffleSeed, when non-zero, deterministically permutes the script
+	// segments (drift order changes, total exposure per domain does not).
+	ShuffleSeed uint64 `json:"shuffle_seed,omitempty"`
+	// Domains, when non-empty, keeps only the script segments playing one
+	// of these domain indices — e.g. a day-night subset of a four-season
+	// script. At least one segment must survive.
+	Domains []int `json:"domains,omitempty"`
+}
+
+// IsIdentity reports whether applying the transform would be a no-op.
+func (tr *ScriptTransform) IsIdentity() bool {
+	return tr.PhaseSec == 0 && (tr.Stretch == 0 || tr.Stretch == 1) &&
+		tr.ShuffleSeed == 0 && len(tr.Domains) == 0
+}
+
+// CloneForScript returns a copy of the profile whose Script slice is
+// private (safe to rewrite); all other fields — domains, prototypes,
+// pretraining parameters — are shared with the receiver, which is exactly
+// the read-only world data a script rewrite must not fork.
+func (p *Profile) CloneForScript() *Profile {
+	out := *p
+	out.Script = append([]Segment(nil), p.Script...)
+	return &out
+}
+
+// ApplyScriptTransform returns a profile variant with the transform applied
+// to its script (the base profile is never mutated; an identity transform
+// returns the base unchanged, pointer-equal).
+func ApplyScriptTransform(p *Profile, tr ScriptTransform) (*Profile, error) {
+	if tr.IsIdentity() {
+		return p, nil
+	}
+	if tr.Stretch < 0 {
+		return nil, fmt.Errorf("video: profile %s: negative script stretch %g", p.Name, tr.Stretch)
+	}
+	out := p.CloneForScript()
+
+	if len(tr.Domains) > 0 {
+		keep := make(map[int]bool, len(tr.Domains))
+		for _, d := range tr.Domains {
+			if d < 0 || d >= len(p.Domains) {
+				return nil, fmt.Errorf("video: profile %s: domain subset references domain %d of %d",
+					p.Name, d, len(p.Domains))
+			}
+			keep[d] = true
+		}
+		kept := out.Script[:0]
+		for _, s := range out.Script {
+			if keep[s.DomainIndex] {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("video: profile %s: domain subset %v leaves an empty script", p.Name, tr.Domains)
+		}
+		out.Script = kept
+	}
+
+	if tr.ShuffleSeed != 0 {
+		rng := rand.New(rand.NewPCG(tr.ShuffleSeed, 0x5C81F7)) // "SCRIPT"
+		rng.Shuffle(len(out.Script), func(i, j int) {
+			out.Script[i], out.Script[j] = out.Script[j], out.Script[i]
+		})
+	}
+
+	if tr.Stretch != 0 && tr.Stretch != 1 {
+		for i := range out.Script {
+			out.Script[i].Duration *= tr.Stretch
+		}
+	}
+
+	if tr.PhaseSec != 0 {
+		out.Script = rotateScript(out.Script, tr.PhaseSec)
+	}
+
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rotateScript rewrites the script so time 0 of the result corresponds to
+// time phase of the input (the script cycles, so any phase wraps). A phase
+// landing inside a segment splits it: the remainder opens the new script
+// and the consumed part closes it, preserving the total duration.
+func rotateScript(script []Segment, phase float64) []Segment {
+	var total float64
+	for _, s := range script {
+		total += s.Duration
+	}
+	if total <= 0 {
+		return script
+	}
+	phase = mod(phase, total)
+	if phase == 0 {
+		return script
+	}
+	out := make([]Segment, 0, len(script)+1)
+	// Find the segment the phase lands in.
+	idx, offset := 0, phase
+	for i, s := range script {
+		if offset < s.Duration {
+			idx = i
+			break
+		}
+		offset -= s.Duration
+	}
+	if rest := script[idx].Duration - offset; rest > 0 {
+		out = append(out, Segment{DomainIndex: script[idx].DomainIndex, Duration: rest})
+	}
+	out = append(out, script[idx+1:]...)
+	out = append(out, script[:idx]...)
+	if offset > 0 {
+		out = append(out, Segment{DomainIndex: script[idx].DomainIndex, Duration: offset})
+	}
+	return out
+}

@@ -20,11 +20,14 @@
 //
 // Beyond the blocking Run there is a streaming Session (frame-stepped, with
 // Observer hooks and context cancellation), a Fleet that runs many
-// (profile, strategy, seed) sessions on a bounded worker pool, and a
-// strategy registry (RegisterStrategy) that lets new strategies plug into
-// the deployment loop without touching it. See DESIGN.md for the system
-// inventory and the Strategy/Session/Fleet API; cmd/shoggoth-bench
-// regenerates the paper-vs-measured record of every table and figure.
+// (profile, strategy, seed) sessions on a bounded worker pool, a Cluster
+// that steps N devices against one shared cloud, and registries for
+// strategies (RegisterStrategy), cloud scheduling policies, dataset
+// profiles and scenarios — composed worlds of workload variants and
+// time-varying network traces (ScenarioByName, LoadScenarioFile,
+// ScenarioConfigs). See DESIGN.md for the system inventory and the
+// Strategy/Session/Fleet API; cmd/shoggoth-bench regenerates the
+// paper-vs-measured record of every table and figure.
 package shoggoth
 
 import (
