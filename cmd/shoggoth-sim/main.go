@@ -192,6 +192,12 @@ func runFleet(cfgs []shoggoth.Config, workers int, asJSON, verbose bool, header 
 	fleet := &shoggoth.Fleet{Workers: workers}
 	if verbose {
 		fleet.Perf = &shoggoth.PerfCounters{}
+		// Give every session's counters real timestamps; the library
+		// default is no clock at all (Results are unaffected either way).
+		clock := shoggoth.WallClock()
+		for i := range cfgs {
+			cfgs[i].PerfClock = clock
+		}
 	}
 	all, err := fleet.Run(context.Background(), cfgs)
 	if err != nil {
@@ -231,6 +237,10 @@ func runCluster(cfgs []shoggoth.Config, p clusterParams, asJSON, verbose bool, h
 	cluster := &shoggoth.Cluster{QueueCap: p.queueCap, Policy: p.policy, Workers: p.workers}
 	if verbose {
 		cluster.Perf = &shoggoth.PerfCounters{}
+		clock := shoggoth.WallClock()
+		for i := range cfgs {
+			cfgs[i].PerfClock = clock
+		}
 	}
 	res, err := cluster.Run(context.Background(), cfgs)
 	if err != nil {

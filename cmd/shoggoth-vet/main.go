@@ -1,0 +1,71 @@
+// Command shoggoth-vet runs Shoggoth's static-analysis suite: the custom
+// analyzers in internal/lint that machine-check the repository's determinism
+// and hot-path contracts (DESIGN.md §10) — wall-clock purity of the sim
+// path, the partitioned-RNG discipline, sorted map iteration, the
+// zero-allocation hot path and mutex-free callback dispatch.
+//
+// Usage:
+//
+//	go run ./cmd/shoggoth-vet ./...
+//	go run ./cmd/shoggoth-vet -analyzers wallclock,globalrand ./internal/core
+//	go run ./cmd/shoggoth-vet -list
+//
+// Exit status is 1 when any diagnostic survives (findings must be fixed or
+// carry a justified //shoggoth:allow <analyzer> -- <reason> directive).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shoggoth/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *names != "" {
+		subset, ok := lint.ByName(strings.Split(*names, ","))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "shoggoth-vet: unknown analyzer in %q (see -list)\n", *names)
+			os.Exit(2)
+		}
+		analyzers = subset
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shoggoth-vet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shoggoth-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "shoggoth-vet: %d finding(s); fix them or justify with //shoggoth:allow <analyzer> -- <reason>\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+package shoggoth_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"shoggoth"
+)
+
+// TestScenarioClusterDoubleRun is the end-to-end determinism harness backing
+// the static analyzers (DESIGN.md §10): whatever contract the wallclock,
+// globalrand and maprange rules fail to catch at lint time must still
+// surface here at runtime. It executes the same multi-device Cluster
+// scenario twice — a time-varying rush-hour network trace, three devices
+// contending for one shared cloud — and requires the full Results JSON to
+// match byte for byte. It runs even under -short, so CI's `go test -race
+// ./...` always drives it with the race detector watching the shared cloud
+// service and the worker pool.
+func TestScenarioClusterDoubleRun(t *testing.T) {
+	sc, err := shoggoth.ScenarioByName("rush-hour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cache shoggoth.StudentCache
+	run := func() ([]byte, *shoggoth.ClusterResults) {
+		cfgs, err := shoggoth.ScenarioConfigs(sc, shoggoth.Shoggoth, 3,
+			shoggoth.WithSeed(11), shoggoth.WithCycles(0.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := (&shoggoth.Cluster{Cache: &cache}).Run(context.Background(), cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return encodeJSON(t, res), res
+	}
+	first, res := run()
+	second, _ := run()
+	if !bytes.Equal(first, second) {
+		t.Fatal("two identical scenario Cluster runs produced different ClusterResults JSON")
+	}
+	// The equality must be of a run that did real work, not of two empty runs.
+	if len(res.Devices) != 3 {
+		t.Fatalf("want 3 device results, got %d", len(res.Devices))
+	}
+	for i, d := range res.Devices {
+		if d.SampledFrames == 0 {
+			t.Errorf("device %d sampled no frames — the double run proved nothing", i)
+		}
+	}
+}

@@ -112,18 +112,28 @@ func NewPolicy(name string) (Policy, error) {
 	if name == "" {
 		name = PolicyFIFO
 	}
+	// Resolve under the lock, construct after releasing it: a factory is
+	// foreign code and must not run while the registry mutex is held
+	// (lockedcallback's deferred-dispatch rule — a factory that registers
+	// another policy would deadlock).
 	policyMu.RLock()
-	defer policyMu.RUnlock()
 	i, ok := policyByName[strings.ToLower(strings.TrimSpace(name))]
-	if !ok {
-		known := make([]string, 0, len(policyReg))
+	var factory func() Policy
+	var known []string
+	if ok {
+		factory = policyReg[i].factory
+	} else {
+		known = make([]string, 0, len(policyReg))
 		for _, e := range policyReg {
 			known = append(known, e.name)
 		}
+	}
+	policyMu.RUnlock()
+	if !ok {
 		sort.Strings(known)
 		return nil, fmt.Errorf("cloud: unknown scheduling policy %q (want %s)", name, strings.Join(known, ", "))
 	}
-	return policyReg[i].factory(), nil
+	return factory(), nil
 }
 
 // ValidatePolicy reports whether name resolves to a registered policy

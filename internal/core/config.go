@@ -104,6 +104,16 @@ type Config struct {
 	// compressed model updates.
 	AMSCloudSpeedup float64
 	AMSQuantNoise   float64
+
+	// PerfClock, when set, is the timestamp source (monotonic seconds) the
+	// workspace PerfCounters measure inference and training cost with.
+	// Nil — the default and the only value sim/test code should use —
+	// keeps the whole run free of machine-clock reads: the counters'
+	// duration fields simply stay zero. Binaries that want real
+	// throughput numbers inject shoggoth.WallClock(); the wallclock
+	// analyzer forbids reading wall time anywhere else on the sim path.
+	// Never part of Results, so it cannot perturb a run's outputs.
+	PerfClock func() float64
 }
 
 // NewConfig returns the calibrated default configuration for a strategy on

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/rand/v2"
-	"time"
 
 	"shoggoth/internal/cloud"
 	"shoggoth/internal/detect"
@@ -104,7 +103,7 @@ func NewSystemOpts(cfg Config, opts SystemOptions) (*System, error) {
 		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x51057E)),
 		sched:     sched,
 		collector: metrics.NewCollector(),
-		ws:        newWorkspace(),
+		ws:        newWorkspace(cfg.PerfClock),
 	}
 	s.stream = video.NewStream(cfg.Profile, cfg.Seed)
 	// The teacher is seeded from the run seed only, so every strategy on
@@ -273,10 +272,10 @@ func (s *System) InferFrame(f *video.Frame, t, dt float64) {
 	if !s.device.Tick(t, dt) {
 		return
 	}
-	started := time.Now()
+	started := s.ws.Perf.Now()
 	res := s.student.Infer(f)
 	s.ws.Perf.InferFrames++
-	s.ws.Perf.InferSeconds += time.Since(started).Seconds()
+	s.ws.Perf.InferSeconds += s.ws.Perf.Now() - started
 	s.RecordProcessedFrame(f, res.Detections)
 	for _, c := range res.Confidences {
 		acc := 0.0

@@ -21,7 +21,9 @@ type Workspace struct {
 	Perf *detect.PerfCounters
 }
 
-// newWorkspace creates an empty per-session workspace.
-func newWorkspace() *Workspace {
-	return &Workspace{Pool: tensor.NewPool(), Perf: &detect.PerfCounters{}}
+// newWorkspace creates an empty per-session workspace. clock, usually nil,
+// is the injected perf timestamp source (Config.PerfClock): nil keeps the
+// sim path free of machine-clock reads and the duration counters at zero.
+func newWorkspace(clock func() float64) *Workspace {
+	return &Workspace{Pool: tensor.NewPool(), Perf: &detect.PerfCounters{Clock: clock}}
 }

@@ -11,6 +11,24 @@ type PerfCounters struct {
 	TrainSessions int64   // completed adaptive-training sessions
 	TrainSteps    int64   // SGD steps across all sessions
 	TrainSeconds  float64 // wall-clock seconds spent inside RunSession
+
+	// Clock supplies the timestamps the *Seconds counters are measured
+	// with: monotonic seconds from an arbitrary epoch. It is nil by
+	// default — sim-path code never reads the machine clock (the wallclock
+	// analyzer enforces this), so timing costs nothing unless a binary
+	// opts in by injecting a real clock (shoggoth.WallClock via
+	// Config.PerfClock). With a nil Clock the duration counters stay zero
+	// and the throughput accessors report 0.
+	Clock func() float64
+}
+
+// Now reads the injected clock; it is safe on a nil receiver or nil Clock,
+// returning 0 so uninstrumented runs measure nothing.
+func (c *PerfCounters) Now() float64 {
+	if c == nil || c.Clock == nil {
+		return 0
+	}
+	return c.Clock()
 }
 
 // Add accumulates o into c (used by fleet-level aggregation).

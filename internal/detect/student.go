@@ -154,6 +154,8 @@ type InferResult struct {
 // proposal is classified and its box corrected by the regression head.
 // Proposals classified as background or below MinConfidence produce no
 // detection, but every proposal contributes a confidence.
+//
+//shoggoth:hotpath
 func (s *Student) Infer(f *video.Frame) InferResult {
 	if len(f.Proposals) == 0 {
 		return InferResult{}
@@ -167,6 +169,7 @@ func (s *Student) Infer(f *video.Frame) InferResult {
 		s.inferProbs = make([]float64, logits.Cols)
 	}
 	probs := s.inferProbs[:logits.Cols]
+	//shoggoth:allow hotalloc -- the result escapes to the caller (α estimation retains it), so it cannot alias pinned scratch
 	res := InferResult{Confidences: make([]float64, len(f.Proposals))}
 	for i := range f.Proposals {
 		tensor.SoftmaxRowInto(probs, logits.Row(i))
@@ -182,6 +185,7 @@ func (s *Student) Infer(f *video.Frame) InferResult {
 		}
 		var off geom.Offset
 		copy(off[:], offsets.Row(i))
+		//shoggoth:allow hotalloc -- detections escape to the caller (recorded into Results), so the slice cannot be pinned scratch
 		res.Detections = append(res.Detections, Detection{
 			ProposalIdx: i,
 			Class:       cls,
@@ -223,6 +227,8 @@ func (s *Student) CopyWeightsFrom(src *Student) {
 }
 
 // Params returns all trainable parameters (trunk + both heads).
+//
+//shoggoth:allow hotalloc -- runs once per trainer: Trainer.trainParams caches the result behind a nil guard
 func (s *Student) Params() []*nn.Param {
 	out := s.Backbone.Params()
 	out = append(out, s.ClassHead.Params()...)

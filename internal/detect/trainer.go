@@ -2,7 +2,6 @@ package detect
 
 import (
 	"math/rand/v2"
-	"time"
 
 	"shoggoth/internal/nn"
 	"shoggoth/internal/replay"
@@ -172,8 +171,10 @@ func ensureBools(s []bool, n int) []bool {
 
 // RunSession fine-tunes the student on the labeled batch plus replay memory
 // and then updates the memory per Algorithm 1.
+//
+//shoggoth:hotpath
 func (t *Trainer) RunSession(batch []LabeledRegion) SessionStats {
-	started := time.Now()
+	started := t.perf.Now()
 	cfg := t.Config
 	s := t.Student
 	split := t.split()
@@ -302,7 +303,7 @@ func (t *Trainer) RunSession(batch []LabeledRegion) SessionStats {
 	if t.perf != nil {
 		t.perf.TrainSessions++
 		t.perf.TrainSteps += int64(stats.Steps)
-		t.perf.TrainSeconds += time.Since(started).Seconds()
+		t.perf.TrainSeconds += t.perf.Now() - started
 	}
 	return stats
 }
@@ -330,6 +331,7 @@ func (t *Trainer) updateMemory(batch []LabeledRegion, newX *tensor.Matrix, split
 	samples := t.memSamples[:len(batch)]
 	for i, r := range batch {
 		samples[i] = replay.Sample{
+			//shoggoth:allow hotalloc -- deliberate copy: the replay memory owns the activation for many future sessions, so it must not alias the forward buffer
 			Activation: append([]float64(nil), acts.Row(i)...),
 			Class:      r.Class,
 			HasBox:     r.HasBox,

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //shoggoth:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	file     string
+	// fromLine..toLine is the directive's coverage: its own line and the
+	// next (for trailing and line-above placement), widened to the whole
+	// declaration when the directive sits in a decl's doc comment.
+	fromLine, toLine int
+	used             bool
+}
+
+// allowSet is every allow directive of one package.
+type allowSet struct {
+	directives []*allowDirective
+	ran        map[string]bool // analyzer names that actually ran on this package
+}
+
+const allowPrefix = "shoggoth:allow"
+
+// collectAllows parses every //shoggoth:allow directive in the package. A
+// directive suppresses diagnostics of the named analyzer on its own line, the
+// line directly below it, or — when it is part of a declaration's doc
+// comment — anywhere inside that declaration.
+func collectAllows(pkg *Package) *allowSet {
+	set := &allowSet{ran: make(map[string]bool)}
+	for _, f := range pkg.Files {
+		// Map comment groups to the declaration they document, so a
+		// doc-comment directive covers the whole declaration.
+		docSpan := make(map[*ast.CommentGroup][2]int)
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docSpan[doc] = [2]int{
+					pkg.Fset.Position(decl.Pos()).Line,
+					pkg.Fset.Position(decl.End()).Line,
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text, ok = strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := &allowDirective{pos: pos, file: pos.Filename, fromLine: pos.Line, toLine: pos.Line + 1}
+				if span, isDoc := docSpan[cg]; isDoc {
+					if span[0] < d.fromLine {
+						d.fromLine = span[0]
+					}
+					if span[1] > d.toLine {
+						d.toLine = span[1]
+					}
+				}
+				body := strings.TrimSpace(text)
+				name, reason, hasReason := strings.Cut(body, "--")
+				d.analyzer = strings.TrimSpace(name)
+				if hasReason {
+					d.reason = strings.TrimSpace(reason)
+				}
+				set.directives = append(set.directives, d)
+			}
+		}
+	}
+	return set
+}
+
+// filter drops diagnostics covered by a justified directive, marking those
+// directives used. Directives without a justification never suppress.
+func (s *allowSet) filter(diags []Diagnostic) []Diagnostic {
+	if s == nil || len(s.directives) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if s.suppress(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// markRan records that an analyzer ran on the package even if it found
+// nothing, so unused-directive detection stays accurate.
+func (s *allowSet) markRan(name string) { s.ran[name] = true }
+
+func (s *allowSet) suppress(d Diagnostic) bool {
+	for _, dir := range s.directives {
+		if dir.analyzer != d.Analyzer || dir.reason == "" {
+			continue
+		}
+		if dir.file == d.Pos.Filename && dir.fromLine <= d.Pos.Line && d.Pos.Line <= dir.toLine {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// problems reports malformed and stale directives: a missing justification,
+// an unknown analyzer name, or a justified directive that suppressed nothing
+// (staleness is only judged for analyzers that actually ran here, so running
+// a subset of the suite never misreports).
+func (s *allowSet) problems() []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range s.directives {
+		switch {
+		case dir.reason == "":
+			out = append(out, Diagnostic{
+				Analyzer: "allow",
+				Pos:      dir.pos,
+				Message:  "shoggoth:allow needs a justification: //shoggoth:allow " + dir.analyzer + " -- <reason>",
+			})
+		case !knownAnalyzer(dir.analyzer):
+			out = append(out, Diagnostic{
+				Analyzer: "allow",
+				Pos:      dir.pos,
+				Message:  "shoggoth:allow names unknown analyzer " + dir.analyzer,
+			})
+		case s.ran[dir.analyzer] && !dir.used:
+			out = append(out, Diagnostic{
+				Analyzer: "allow",
+				Pos:      dir.pos,
+				Message:  "stale shoggoth:allow: " + dir.analyzer + " reports nothing here — remove the directive",
+			})
+		}
+	}
+	return out
+}
+
+// knownAnalyzer reports whether name is part of the suite.
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadAllowProbs loads the fixture dedicated to directive-problem reporting.
+func loadAllowProbs(t *testing.T) *Package {
+	t.Helper()
+	pkg, err := newFixtureLoader("testdata/src").load("allowprobs")
+	if err != nil {
+		t.Fatalf("load allowprobs fixture: %v", err)
+	}
+	return pkg
+}
+
+// TestAllowProblems runs wallclock over the allowprobs fixture and checks all
+// three directive pathologies are reported, alongside the finding the
+// reason-less directive failed to suppress.
+func TestAllowProblems(t *testing.T) {
+	pkg := loadAllowProbs(t)
+	diags := Run([]*Package{pkg}, []*Analyzer{WallClock})
+
+	wantSubstrings := []string{
+		"shoggoth:allow needs a justification", // directive without -- reason
+		"time.Now reads the wall clock",        // ...which therefore suppresses nothing
+		"shoggoth:allow names unknown analyzer nosuchrule",
+		"stale shoggoth:allow: wallclock reports nothing here",
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(wantSubstrings), render(diags))
+	}
+	for _, want := range wantSubstrings {
+		if !containsMessage(diags, want) {
+			t.Errorf("no diagnostic contains %q:\n%s", want, render(diags))
+		}
+	}
+}
+
+// TestAllowStaleOnlyForRanAnalyzers: running a subset of the suite must not
+// misreport directives for analyzers that did not run as stale.
+func TestAllowStaleOnlyForRanAnalyzers(t *testing.T) {
+	pkg := loadAllowProbs(t)
+	diags := Run([]*Package{pkg}, []*Analyzer{GlobalRand})
+
+	if containsMessage(diags, "stale shoggoth:allow") {
+		t.Errorf("stale report for an analyzer that did not run:\n%s", render(diags))
+	}
+	// The structural problems are reported regardless of which analyzers ran.
+	for _, want := range []string{
+		"shoggoth:allow needs a justification",
+		"shoggoth:allow names unknown analyzer nosuchrule",
+	} {
+		if !containsMessage(diags, want) {
+			t.Errorf("no diagnostic contains %q:\n%s", want, render(diags))
+		}
+	}
+}
+
+func containsMessage(diags []Diagnostic, substr string) bool {
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the fixture package at srcRoot/<pkgPath> (GOPATH-style:
+// the directory's import path is its path below srcRoot), runs the analyzer
+// over it — allow-directive filtering included — and compares the
+// diagnostics against the fixture's golden expectations:
+//
+//	offendingCode() // want "regexp matching the message"
+//
+// Every diagnostic must be matched by a want comment on its line and every
+// want comment must fire, so fixtures prove the analyzer both reports and
+// stays silent correctly.
+func RunFixture(t *testing.T, srcRoot string, a *Analyzer, pkgPath string) {
+	t.Helper()
+	loader := newFixtureLoader(srcRoot)
+	pkg, err := loader.load(pkgPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkgPath, err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := posKey{file: d.Pos.Filename, line: d.Pos.Line}
+		if !wants.claim(key, d.Message) {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	wants.reportUnclaimed(t)
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type wantEntry struct {
+	rx      *regexp.Regexp
+	claimed bool
+}
+
+type wantSet struct {
+	byPos map[posKey][]*wantEntry
+}
+
+func (w *wantSet) claim(key posKey, message string) bool {
+	for _, e := range w.byPos[key] {
+		if !e.claimed && e.rx.MatchString(message) {
+			e.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+func (w *wantSet) reportUnclaimed(t *testing.T) {
+	t.Helper()
+	for key, entries := range w.byPos {
+		for _, e := range entries {
+			if !e.claimed {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, e.rx)
+			}
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE matches one want pattern: an interpreted ("...") or raw (`...`)
+// Go string literal, both of which strconv.Unquote understands.
+var quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses the `// want "..."` expectations of every fixture file.
+func collectWants(t *testing.T, pkg *Package) *wantSet {
+	t.Helper()
+	set := &wantSet{byPos: make(map[posKey][]*wantEntry)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey{file: pos.Filename, line: pos.Line}
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", key.file, key.line, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", key.file, key.line, pat, err)
+					}
+					set.byPos[key] = append(set.byPos[key], &wantEntry{rx: rx})
+				}
+			}
+		}
+	}
+	return set
+}
+
+// fixtureLoader type-checks fixture packages: imports below srcRoot resolve
+// to sibling fixture directories (checked from source, recursively), anything
+// else resolves through the build cache's export data via the go command.
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	local   map[string]*Package
+	std     types.Importer
+	exports map[string]string
+}
+
+func newFixtureLoader(srcRoot string) *fixtureLoader {
+	l := &fixtureLoader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		local:   make(map[string]*Package),
+		exports: make(map[string]string),
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", l.lookupExport)
+	return l
+}
+
+// Import implements types.Importer for the type-checker's dependency
+// resolution during fixture checking.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.srcRoot, filepath.FromSlash(path)); isDir(dir) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one fixture package by its srcRoot-relative
+// import path.
+func (l *fixtureLoader) load(path string) (*Package, error) {
+	if pkg, ok := l.local[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture %s has no Go files", path)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %v", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.local[path] = pkg
+	return pkg, nil
+}
+
+// lookupExport serves a non-fixture package's export data, asking the go
+// command (once per new path, -deps amortizes the rest) to materialize it in
+// the build cache.
+func (l *fixtureLoader) lookupExport(path string) (io.ReadCloser, error) {
+	if f, ok := l.exports[path]; ok {
+		return os.Open(f)
+	}
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", path)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}

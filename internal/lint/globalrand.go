@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors build explicitly-seeded generators and are the only legal
+// way to obtain randomness: rand.New(rand.NewPCG(seed, stream)) and friends.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// GlobalRand forbids package-level math/rand and math/rand/v2 calls
+// everywhere in the module. Those draw from the process-global source —
+// shared mutable state seeded outside the run's control — so any use breaks
+// the partitioned-RNG discipline: every component draws from an injected
+// *rand.Rand derived from (run seed, stream id), and consumption order is
+// part of the determinism contract. Methods on an injected *rand.Rand are
+// legal; the package-level shorthands never are, in live code included
+// (a live path wanting "real" entropy still wants it injected and loggable).
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid package-level math/rand[/v2] calls; all randomness flows from an injected, seeded *rand.Rand",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := staticFunc(pass.Info, call)
+				if fn == nil || fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				path := pkgPathOf(fn)
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the package-global source: inject a seeded *rand.Rand stream (SeededRNG / partitioned-RNG discipline)",
+					fn.Name())
+				return true
+			})
+		}
+	},
+}

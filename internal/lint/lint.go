@@ -1,0 +1,124 @@
+// Package lint is Shoggoth's static-analysis suite: a small go/analysis-style
+// framework plus the custom analyzers that machine-check the repository's
+// determinism and hot-path contracts (DESIGN.md §10). The framework is built
+// entirely on the standard library (go/ast, go/types, go/importer and the go
+// command's -export build-cache files) so the module keeps its zero-dependency
+// contract.
+//
+// Five analyzers enforce the invariants the runtime tests can only sample:
+//
+//   - wallclock: no time.Now/Since/Sleep/... in sim-path packages — only the
+//     virtual clock (sim.Scheduler) or an injected PerfCounters clock is legal.
+//   - globalrand: no package-level math/rand[/v2] calls anywhere — randomness
+//     must flow from an injected, seeded *rand.Rand stream.
+//   - maprange: no order-sensitive accumulation inside a range over a map
+//     without a sorted-keys guard (the PR 1 mAP bug class).
+//   - hotalloc: no allocating tensor constructors or unguarded make/append in
+//     functions reachable from a //shoggoth:hotpath entry point (PR 2's
+//     zero-allocation contract).
+//   - lockedcallback: no observer/policy callback invocation or channel send
+//     while an engine mutex is held (PR 4's deferred-dispatch rule).
+//
+// Every analyzer honours a narrow escape hatch:
+//
+//	//shoggoth:allow <analyzer> -- <reason>
+//
+// placed on the flagged line, the line above it, or in the doc comment of the
+// enclosing declaration. The justification after "--" is mandatory: an allow
+// directive without one is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check: a named rule over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier — what diagnostics are tagged with
+	// and what an //shoggoth:allow directive names.
+	Name string
+	// Doc is the one-paragraph rule statement shown by shoggoth-vet -list.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+	// SkipPkg, when non-nil, exempts whole packages from the rule (for
+	// example wallclock does not apply to cmd/ binaries, where wall time is
+	// the point). It receives the package's import path.
+	SkipPkg func(path string) bool
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned in the source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run executes every analyzer over every package and returns the surviving
+// diagnostics: findings suppressed by a justified //shoggoth:allow directive
+// are dropped, allow directives missing their justification are added, and
+// the result is sorted by position for stable output.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		for _, a := range analyzers {
+			if a.SkipPkg != nil && a.SkipPkg(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			a.Run(pass)
+			allows.markRan(a.Name)
+			all = append(all, allows.filter(pass.diags)...)
+		}
+		all = append(all, allows.problems()...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `range` over a map whose body accumulates into
+// order-sensitive state: float compound additions (float addition is not
+// associative, so iteration order changes the bits — the PR 1 mAP bug),
+// string concatenation, and appends into a slice that outlives the loop.
+// The sorted-keys guard is recognised and stays silent: a loop that only
+// collects the keys into a slice which is subsequently passed to sort/slices
+// is exactly the deterministic idiom the rule wants to force.
+//
+// Commutative updates (integer counters, set inserts) are order-insensitive
+// and not flagged.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flag range-over-map bodies that accumulate order-sensitive state without a sorted-keys guard",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var list []ast.Stmt
+				switch s := n.(type) {
+				case *ast.BlockStmt:
+					list = s.List
+				case *ast.CaseClause:
+					list = s.Body
+				case *ast.CommClause:
+					list = s.Body
+				default:
+					return true
+				}
+				for i, stmt := range list {
+					rs, ok := stmt.(*ast.RangeStmt)
+					if !ok {
+						continue
+					}
+					checkMapRange(pass, rs, list[i+1:])
+				}
+				return true
+			})
+		}
+	},
+}
+
+// checkMapRange analyzes one range statement given the statements that
+// follow it in the same block (the sorted-guard scan window).
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+	t := typeOf(pass.Info, rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, isFn := n.(*ast.FuncLit); isFn {
+			return false // a deferred closure runs outside the iteration
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			obj := rootObject(pass.Info, as.Lhs[0])
+			if obj != nil && declaredOutside(obj, rs) && orderSensitiveType(pass.Info, as.Lhs[0]) {
+				pass.Reportf(as.Pos(),
+					"map iteration order is nondeterministic: %q accumulates non-associatively inside a range over a map; collect the keys, sort, then iterate (the PR 1 mAP bug class)",
+					obj.Name())
+			}
+		case token.ASSIGN:
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				target := rootObject(pass.Info, as.Lhs[i])
+				if target == nil || !declaredOutside(target, rs) {
+					continue
+				}
+				if isAppendTo(pass.Info, rhs, target) {
+					if sortGuarded(pass.Info, following, target) {
+						continue // collect-keys-then-sort idiom
+					}
+					pass.Reportf(as.Pos(),
+						"map iteration order is nondeterministic: %q is appended to inside a range over a map with no sort afterwards; sort it (or the keys) before order matters (the PR 1 mAP bug class)",
+						target.Name())
+				} else if selfAccumulates(pass.Info, rhs, target) && orderSensitiveType(pass.Info, as.Lhs[i]) {
+					pass.Reportf(as.Pos(),
+						"map iteration order is nondeterministic: %q accumulates non-associatively inside a range over a map; collect the keys, sort, then iterate (the PR 1 mAP bug class)",
+						target.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootObject resolves the base identifier of an assignable expression:
+// x, x.f.g and x[i] all root at x.
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return obj
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside the range
+// statement — state that survives the loop.
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// typeOf resolves an expression's type, falling back to the identifier's
+// object (plain identifiers are recorded in Uses/Defs, not Types).
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// orderSensitiveType reports whether accumulating into expr's type depends
+// on operand order: floats (non-associative addition) and strings
+// (concatenation). Integer counters are commutative and excluded.
+func orderSensitiveType(info *types.Info, expr ast.Expr) bool {
+	t := typeOf(info, expr)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0
+}
+
+// isAppendTo reports whether rhs is append(target, ...).
+func isAppendTo(info *types.Info, rhs ast.Expr, target types.Object) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if b, ok := calleeOf(info, call).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return rootObject(info, call.Args[0]) == target
+}
+
+// selfAccumulates reports whether rhs mentions target itself (x = x + ...).
+func selfAccumulates(info *types.Info, rhs ast.Expr, target types.Object) bool {
+	if _, ok := ast.Unparen(rhs).(*ast.BinaryExpr); !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortGuarded reports whether a following statement passes target to a
+// sort/slices function — the sorted-keys guard.
+func sortGuarded(info *types.Info, following []ast.Stmt, target types.Object) bool {
+	for _, stmt := range following {
+		guarded := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			if p := pkgPathOf(fn); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				mentioned := false
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && info.Uses[id] == target {
+						mentioned = true
+					}
+					return !mentioned
+				})
+				if mentioned {
+					guarded = true
+					return false
+				}
+			}
+			return true
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package lint
+
+import "testing"
+
+// TestRepoIsClean runs the full suite over the whole module, mirroring CI's
+// `go run ./cmd/shoggoth-vet ./...`: the repository must carry zero
+// unjustified findings. Skipped under -short — it type-checks every package.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped under -short")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

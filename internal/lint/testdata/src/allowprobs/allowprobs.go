@@ -1,0 +1,25 @@
+// Package allowprobs exercises the allow-directive problem reports —
+// missing justification, unknown analyzer name, stale directive. Its
+// expectations live in allow_test.go (programmatic), not in want comments:
+// a want comment cannot share the directive's line without polluting the
+// parsed analyzer name.
+package allowprobs
+
+import "time"
+
+// missingReason carries a directive without the mandatory "-- reason", so
+// the wallclock finding below survives AND the directive itself is reported.
+func missingReason() time.Time {
+	//shoggoth:allow wallclock
+	return time.Now()
+}
+
+// unknownName justifies an analyzer that is not part of the suite.
+//
+//shoggoth:allow nosuchrule -- this analyzer does not exist
+var placeholder = 0
+
+// stale is fully justified but suppresses nothing.
+//
+//shoggoth:allow wallclock -- stale: nothing to suppress in this declaration
+var quiet = 1

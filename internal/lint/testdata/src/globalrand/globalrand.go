@@ -1,0 +1,32 @@
+// Package globalrand is the globalrand analyzer's golden fixture: all
+// randomness must flow from injected, seeded *rand.Rand streams.
+package globalrand
+
+import (
+	oldrand "math/rand"
+	"math/rand/v2"
+)
+
+// globals draw from the process-global source — every one is a finding.
+func globals() {
+	_ = rand.IntN(10)                  // want `rand\.IntN draws from the package-global source`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the package-global source`
+	_ = rand.Perm(5)                   // want `rand\.Perm draws from the package-global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the package-global source`
+	_ = oldrand.Intn(10)               // want `rand\.Intn draws from the package-global source`
+	_ = oldrand.Int63()                // want `rand\.Int63 draws from the package-global source`
+}
+
+// injected is the partitioned-RNG discipline: explicit seeding, methods on
+// the injected stream — all legal.
+func injected(r *rand.Rand) float64 {
+	stream := rand.New(rand.NewPCG(1, 4))
+	legacy := oldrand.New(oldrand.NewSource(7))
+	return r.Float64() + stream.Float64() + legacy.Float64()
+}
+
+// allowed shows the justified escape hatch.
+func allowed() int {
+	//shoggoth:allow globalrand -- fixture: demonstrates the escape hatch only
+	return rand.IntN(2)
+}

@@ -1,0 +1,101 @@
+// Package maprange is the maprange analyzer's golden fixture: no
+// order-sensitive accumulation inside a range over a map without a
+// sorted-keys guard.
+package maprange
+
+import "sort"
+
+// floatAccum is the PR 1 mAP bug shape: float addition is not associative,
+// so map iteration order changes the bits.
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `"sum" accumulates non-associatively`
+	}
+	return sum
+}
+
+// selfAdd is the same bug spelled without a compound assignment.
+func selfAdd(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `"total" accumulates non-associatively`
+	}
+	return total
+}
+
+// stringConcat is order-sensitive too.
+func stringConcat(m map[int]string) string {
+	out := ""
+	for _, s := range m {
+		out += s // want `"out" accumulates non-associatively`
+	}
+	return out
+}
+
+// unsortedAppend leaks iteration order into a slice that outlives the loop.
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `"keys" is appended to inside a range over a map`
+	}
+	return keys
+}
+
+// sortedKeysGuard is the idiom the rule forces: collect, sort, then use.
+func sortedKeysGuard(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// intCounter commutes: integer addition is order-insensitive.
+func intCounter(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// sliceRange iterates deterministically; nothing to flag.
+func sliceRange(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// localAccum dies with the iteration — per-entry scratch is fine.
+func localAccum(m map[string][]float64) []float64 {
+	var means []float64
+	for _, xs := range m {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		means = append(means, s) // want `"means" is appended to inside a range over a map`
+	}
+	sortFloats(means)
+	return means
+}
+
+// sortFloats hides the sort behind a helper, so the guard is NOT visible to
+// the analyzer — localAccum above must still be flagged (the guard scan only
+// trusts direct sort/slices calls).
+func sortFloats(xs []float64) { sort.Float64s(xs) }
+
+// allowed shows the justified escape hatch for a commutative float fold the
+// analyzer cannot prove safe.
+func allowed(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		//shoggoth:allow maprange -- fixture: max() is order-insensitive even over floats
+		best += v
+	}
+	return best
+}

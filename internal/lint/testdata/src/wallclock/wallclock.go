@@ -1,0 +1,45 @@
+// Package wallclock is the wallclock analyzer's golden fixture: sim-path
+// code must never read the machine clock.
+package wallclock
+
+import "time"
+
+// simStep models sim-path code leaking wall time into a run.
+func simStep() float64 {
+	t := time.Now()                // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the wall clock`
+	return time.Since(t).Seconds() // want `time\.Since reads the wall clock`
+}
+
+// waiters cover the timer/ticker constructors.
+func waiters() {
+	<-time.After(time.Second)        // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Second)   // want `time\.NewTimer reads the wall clock`
+	_ = time.NewTicker(time.Second)  // want `time\.NewTicker reads the wall clock`
+	_ = time.Until(time.Time{})      // want `time\.Until reads the wall clock`
+	time.AfterFunc(time.Second, nil) // want `time\.AfterFunc reads the wall clock`
+}
+
+// pureValues never observe "now": time.Duration arithmetic and explicit
+// construction stay legal in sim code.
+func pureValues() time.Duration {
+	d := 3 * time.Second
+	t := time.Unix(0, 0)
+	_ = t.Add(d)
+	return d + time.Millisecond
+}
+
+// liveBoundary is the sanctioned escape hatch: a justified allow directive.
+func liveBoundary() time.Time {
+	//shoggoth:allow wallclock -- fixture: models the live rpc boundary, where wall time is the clock coordinate
+	return time.Now()
+}
+
+// docAllowed shows a doc-comment directive covering the whole declaration.
+//
+//shoggoth:allow wallclock -- fixture: decl-level coverage of a live helper
+func docAllowed() (time.Time, time.Time) {
+	a := time.Now()
+	b := time.Now()
+	return a, b
+}

@@ -40,6 +40,8 @@ func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 }
 
 // ForwardRange runs layers [lo, hi).
+//
+//shoggoth:hotpath
 func (s *Sequential) ForwardRange(lo, hi int, x *tensor.Matrix, train bool) *tensor.Matrix {
 	s.checkRange(lo, hi)
 	for i := lo; i < hi; i++ {
@@ -56,6 +58,8 @@ func (s *Sequential) Backward(grad *tensor.Matrix) *tensor.Matrix {
 // BackwardRange back-propagates through layers [lo, hi) in reverse order and
 // returns the gradient at the input of layer lo. Use lo > 0 to terminate the
 // backward pass at the replay layer (frozen front).
+//
+//shoggoth:hotpath
 func (s *Sequential) BackwardRange(lo, hi int, grad *tensor.Matrix) *tensor.Matrix {
 	s.checkRange(lo, hi)
 	for i := hi - 1; i >= lo; i-- {

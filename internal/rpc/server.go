@@ -75,6 +75,7 @@ func NewServerOpts(p *video.Profile, seed uint64, opts ServerOptions) *Server {
 			QueueCap: opts.QueueCap,
 			Workers:  opts.Workers,
 		}),
+		//shoggoth:allow wallclock -- live boundary: the HTTP server's epoch; real devices arrive in real time, wall time IS the engine clock here
 		start:   time.Now(),
 		devices: make(map[string]*deviceState),
 	}
@@ -90,6 +91,8 @@ func (s *Server) Handler() http.Handler {
 
 // now returns seconds since the server started — the engine's real-time
 // clock coordinate.
+//
+//shoggoth:allow wallclock -- live boundary: serves real HTTP clients, so elapsed wall time is the scheduling-engine time axis
 func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
 
 // device returns (creating on first use) the per-device state. Each device

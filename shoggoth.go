@@ -31,6 +31,8 @@
 package shoggoth
 
 import (
+	"time"
+
 	"shoggoth/internal/cloud"
 	"shoggoth/internal/core"
 	"shoggoth/internal/detect"
@@ -152,6 +154,18 @@ func Run(cfg Config) (*Results, error) {
 // StudentCache.
 func PretrainedStudent(p *Profile) *detect.Student {
 	return detect.DefaultPretrainedStudent(p)
+}
+
+// WallClock returns a monotonic wall-time reader for Config.PerfClock: the
+// one sanctioned way for a binary to give PerfCounters real timestamps.
+// Library and sim code must never call it — leave PerfClock nil there, so
+// runs stay free of machine-clock reads (the wallclock analyzer enforces
+// this; the directive below is the single justified exception).
+//
+//shoggoth:allow wallclock -- the one sanctioned wall-time provider; only cmd/ binaries inject it, sim code leaves PerfClock nil
+func WallClock() func() float64 {
+	epoch := time.Now()
+	return func() float64 { return time.Since(epoch).Seconds() }
 }
 
 // Options for NewConfig.
