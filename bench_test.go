@@ -11,8 +11,10 @@ package shoggoth_test
 // scenario cycle per run; use cmd/shoggoth-bench -full for paper-scale).
 
 import (
+	"context"
 	"testing"
 
+	"shoggoth"
 	"shoggoth/internal/experiments"
 )
 
@@ -123,4 +125,35 @@ func BenchmarkExtraAblations(b *testing.B) {
 		b.ReportMetric(ex.FIFOMap*100, "mAP_FIFO")
 		b.Logf("\n%s", ex.Render())
 	}
+}
+
+// BenchmarkFleetEngine measures the discrete-event fleet core: a
+// 1k-device rush-hour cluster at events fidelity, reporting events/sec.
+// (cmd/shoggoth-bench -perf records the 1k/10k/100k engine-vs-stepper
+// trajectory into BENCH_core.json.)
+func BenchmarkFleetEngine(b *testing.B) {
+	sc, err := shoggoth.ScenarioByName("rush-hour")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgs, err := shoggoth.ScenarioConfigs(sc, shoggoth.Shoggoth, 1_000,
+		shoggoth.WithSeed(11), shoggoth.WithCycles(0.05),
+		shoggoth.WithFidelity(shoggoth.FidelityEvents))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range cfgs {
+		cfgs[i].UploadMaxWaitSec = 5
+	}
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := (&shoggoth.Cluster{}).Run(context.Background(), cfgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Engine.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }

@@ -6,6 +6,7 @@ import (
 
 	"shoggoth/internal/cloud"
 	"shoggoth/internal/core"
+	"shoggoth/internal/netsim"
 	"shoggoth/internal/sim"
 )
 
@@ -13,12 +14,28 @@ import (
 // batches served and dropped, queueing delay, teacher busy time.
 type CloudStats = cloud.QueueStats
 
+// EngineInfo reports the event engine's aggregate work. Both counters are
+// part of the determinism contract: they are invariant across
+// Cluster.EngineWorkers values, so a run that merely re-shards differently
+// still reports identical ClusterResults bytes.
+type EngineInfo struct {
+	// Events is the total number of discrete events executed: device frames,
+	// device-local queue events and shared-timeline events combined.
+	Events int64 `json:"events"`
+	// Epochs is the number of engine iterations (parallel device batches
+	// plus serial shared phases).
+	Epochs int64 `json:"epochs"`
+}
+
 // ClusterResults aggregates an N-device shared-cloud run: one Results per
 // device (in device order, each carrying its own queue-delay metrics) plus
 // the service-wide queue statistics.
 type ClusterResults struct {
 	Devices []*Results `json:"devices"`
 	Cloud   CloudStats `json:"cloud"`
+	// Engine carries event-engine telemetry; nil under the legacy
+	// frame-step core.
+	Engine *EngineInfo `json:"engine,omitempty"`
 }
 
 // Utilization returns the teacher's offered load: busy seconds over the
@@ -39,6 +56,15 @@ func (r *ClusterResults) Utilization() float64 {
 	return r.Cloud.BusySeconds / end
 }
 
+// Cluster engine selectors (Cluster.Engine).
+const (
+	// EngineEvent is the sharded discrete-event core — the default.
+	EngineEvent = "event"
+	// EngineFrameStep is the legacy frame-by-frame stepper, kept as a
+	// differential oracle for the event engine.
+	EngineFrameStep = "frame-step"
+)
+
 // Cluster runs N edge deployments against ONE shared cloud labeling
 // service inside a single virtual-time scheduler — the paper's setting of
 // a fleet of cameras multiplexed onto one teacher. Devices genuinely
@@ -50,6 +76,14 @@ func (r *ClusterResults) Utilization() float64 {
 // wall-clock parallelism), a Cluster runs coupled sessions on one clock;
 // with a single device it reproduces a Session bit for bit. The zero value
 // is ready to use.
+//
+// The default core is a discrete-event engine: devices post their next
+// interesting times to an indexed min-heap and fast-forward between shared
+// events, optionally sharded across EngineWorkers goroutines. Results are
+// byte-identical at every worker count — cross-device effects funnel
+// through per-device outboxes merged serially in device-index order — and
+// identical to the legacy frame stepper on the configurations both
+// support. See DESIGN.md §11 for the ordering contract.
 type Cluster struct {
 	// QueueCap bounds the shared labeling queue (batches in service plus
 	// waiting); an arriving batch finding it full is dropped. 0 means
@@ -64,6 +98,14 @@ type Cluster struct {
 	// many batches the cloud labels concurrently in virtual time. 0 means
 	// 1.
 	Workers int
+	// Engine selects the execution core: "" or EngineEvent runs the
+	// discrete-event engine, EngineFrameStep the legacy stepper (which
+	// cannot model shared uplink cells and rejects configs carrying one).
+	Engine string
+	// EngineWorkers shards the event engine's device batches across a
+	// goroutine pool. Purely a wall-clock knob: any value — including 0,
+	// meaning 1 — produces byte-identical ClusterResults.
+	EngineWorkers int
 	// Cache, when set, shares pretrained students with other runners; nil
 	// uses a cluster-private cache.
 	Cache *StudentCache
@@ -98,11 +140,113 @@ func (c *Cluster) Run(ctx context.Context, cfgs []Config) (*ClusterResults, erro
 	if c.Workers < 0 {
 		return nil, fmt.Errorf("shoggoth: negative cluster worker count %d", c.Workers)
 	}
+	if c.EngineWorkers < 0 {
+		return nil, fmt.Errorf("shoggoth: negative engine worker count %d", c.EngineWorkers)
+	}
 	cache := c.Cache
 	if cache == nil {
 		cache = &c.own
 	}
+	switch c.Engine {
+	case "", EngineEvent:
+		return c.runEvents(ctx, cfgs, cache)
+	case EngineFrameStep:
+		return c.runFrameStep(ctx, cfgs, cache)
+	default:
+		return nil, fmt.Errorf("shoggoth: unknown cluster engine %q (want %q or %q)", c.Engine, EngineEvent, EngineFrameStep)
+	}
+}
 
+// cellUplink routes one device's uploads through its cell's shared medium.
+// Send runs on the device's shard, so it must not touch the medium
+// directly: it posts the join to the device outbox, and the engine's
+// serial merge — the only place shared state may change — executes it.
+type cellUplink struct {
+	medium *netsim.SharedMedium
+	out    *sim.Outbox
+}
+
+func (u *cellUplink) Send(bytes int, start float64, deliver func(now float64)) {
+	u.out.At(start, func(now float64) { u.medium.Join(bytes, now, deliver) })
+}
+
+// runEvents is the discrete-event core: one shared scheduler for the cloud
+// service, uplink arrivals and cell media; one private scheduler plus
+// outbox per device; the sim.Engine interleaving them under the global
+// (time, device index, seq) order.
+func (c *Cluster) runEvents(ctx context.Context, cfgs []Config, cache *StudentCache) (*ClusterResults, error) {
+	shared := sim.NewScheduler()
+	svc := cloud.NewService(cloud.ServiceConfig{QueueCap: c.QueueCap, Policy: c.Policy, Workers: c.Workers})
+	svc.Bind(shared)
+	eng := sim.NewEngine(shared, c.EngineWorkers)
+
+	mediums := make(map[int]*netsim.SharedMedium)
+	systems := make([]*core.System, len(cfgs))
+	locals := make([]*sim.Scheduler, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cfg.DeviceID == "" {
+			cfg.DeviceID = fmt.Sprintf("edge-%d", i+1)
+		}
+		if cfg.Fidelity != core.FidelityEvents {
+			// Events fidelity deploys no student, so skip the (cached but
+			// still seconds-per-profile) pretraining entirely.
+			defaultPretrained(&cfg, cache)
+		}
+		local := sim.NewScheduler()
+		out := &sim.Outbox{}
+		var uplink core.UplinkSender
+		if cfg.UplinkCell > 0 {
+			m := mediums[cfg.UplinkCell]
+			if m == nil {
+				// The cell's aggregate rate is its first member's uplink
+				// trace (scenario.Configs gives every member the same one).
+				var tr netsim.Trace = cfg.Uplink
+				if cfg.UplinkTrace != nil {
+					tr = cfg.UplinkTrace
+				}
+				m = netsim.NewSharedMedium(tr, shared)
+				mediums[cfg.UplinkCell] = m
+			}
+			uplink = &cellUplink{medium: m, out: out}
+		}
+		sys, err := core.NewSystemOpts(cfg, core.SystemOptions{Scheduler: local, Cloud: svc, Shared: out, Uplink: uplink})
+		if err != nil {
+			return nil, fmt.Errorf("shoggoth: cluster device %d: %w", i, err)
+		}
+		systems[i], locals[i] = sys, local
+		idx := eng.Add(sys, out)
+		local.SetWaker(func() { eng.MarkDirty(idx) })
+	}
+
+	if err := eng.Run(ctx, cfgs[0].DurationSec); err != nil {
+		return nil, err
+	}
+
+	out := &ClusterResults{Devices: make([]*Results, len(systems))}
+	info := &EngineInfo{Epochs: eng.Epochs()}
+	for i, sys := range systems {
+		out.Devices[i] = sys.Finish()
+		if c.Perf != nil {
+			c.Perf.Add(sys.Workspace().Perf)
+		}
+		info.Events += locals[i].Executed() + int64(out.Devices[i].FramesTotal)
+	}
+	info.Events += shared.Executed()
+	out.Engine = info
+	out.Cloud = svc.Stats()
+	return out, nil
+}
+
+// runFrameStep is the legacy core: every device on ONE scheduler, stepped
+// in global frame-time order (ties break by device index, so simultaneous
+// frames replay identically run to run). Each Step advances the shared
+// scheduler, executing every device's due cloud/network/training events
+// along the way. O(N) per frame — it exists as the differential oracle the
+// event engine is checked against.
+func (c *Cluster) runFrameStep(ctx context.Context, cfgs []Config, cache *StudentCache) (*ClusterResults, error) {
 	sched := sim.NewScheduler()
 	svc := cloud.NewService(cloud.ServiceConfig{QueueCap: c.QueueCap, Policy: c.Policy, Workers: c.Workers})
 	svc.Bind(sched)
@@ -114,7 +258,9 @@ func (c *Cluster) Run(ctx context.Context, cfgs []Config) (*ClusterResults, erro
 		if cfg.DeviceID == "" {
 			cfg.DeviceID = fmt.Sprintf("edge-%d", i+1)
 		}
-		defaultPretrained(&cfg, cache)
+		if cfg.Fidelity != core.FidelityEvents {
+			defaultPretrained(&cfg, cache)
+		}
 		sys, err := core.NewSystemOpts(cfg, core.SystemOptions{Scheduler: sched, Cloud: svc})
 		if err != nil {
 			return nil, fmt.Errorf("shoggoth: cluster device %d: %w", i, err)
@@ -122,10 +268,6 @@ func (c *Cluster) Run(ctx context.Context, cfgs []Config) (*ClusterResults, erro
 		sessions[i] = sys
 	}
 
-	// Step devices in global frame-time order (ties break by device index,
-	// so simultaneous frames replay identically run to run). Each Step
-	// advances the ONE shared scheduler, executing every device's due
-	// cloud/network/training events along the way.
 	for steps := 0; ; steps++ {
 		if steps&0xFF == 0 {
 			if err := ctx.Err(); err != nil {

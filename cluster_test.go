@@ -233,3 +233,171 @@ func TestClusterMixedDurationsRejected(t *testing.T) {
 		t.Fatal("mixed per-device durations must be rejected")
 	}
 }
+
+// TestClusterEngineMatchesFrameStep is the differential oracle: the
+// discrete-event engine and the legacy frame stepper must produce
+// byte-identical device results and cloud stats on any configuration both
+// support (the engine additionally reports EngineInfo, which the stepper
+// leaves nil).
+func TestClusterEngineMatchesFrameStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment run is seconds-long; skipped with -short")
+	}
+	cfgs := clusterConfigs(t, 3, false, 120)
+	event, err := (&shoggoth.Cluster{Engine: shoggoth.EngineEvent}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := (&shoggoth.Cluster{Engine: shoggoth.EngineFrameStep}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := encodeJSON(t, event.Devices), encodeJSON(t, legacy.Devices); !bytes.Equal(got, want) {
+		t.Fatalf("event engine diverged from the frame stepper:\nevent:  %s\nlegacy: %s", got, want)
+	}
+	if got, want := encodeJSON(t, event.Cloud), encodeJSON(t, legacy.Cloud); !bytes.Equal(got, want) {
+		t.Fatalf("cloud stats diverged:\nevent:  %s\nlegacy: %s", got, want)
+	}
+	if event.Engine == nil || event.Engine.Events == 0 || event.Engine.Epochs == 0 {
+		t.Fatalf("event engine reported no telemetry: %+v", event.Engine)
+	}
+	if legacy.Engine != nil {
+		t.Fatal("frame stepper must not report EngineInfo")
+	}
+}
+
+// TestClusterEngineWorkerInvariance locks the tentpole determinism
+// contract at full fidelity: EngineWorkers is a wall-clock knob only, so
+// ClusterResults — EngineInfo included — must be byte-identical at any
+// value. (The 10k-device events-fidelity variant lives in
+// determinism_test.go.)
+func TestClusterEngineWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment run is seconds-long; skipped with -short")
+	}
+	cfgs := clusterConfigs(t, 3, true, 120)
+	run := func(workers int) []byte {
+		res, err := (&shoggoth.Cluster{EngineWorkers: workers}).Run(context.Background(), cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return encodeJSON(t, res)
+	}
+	serial := run(1)
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); !bytes.Equal(got, serial) {
+			t.Fatalf("EngineWorkers=%d changed ClusterResults", workers)
+		}
+	}
+}
+
+// TestClusterEventsFidelity runs a small fleet in the sparse events mode:
+// devices sample and upload, the shared teacher labels, training rounds
+// are priced — all without a student network — and the run replays
+// byte-identically.
+func TestClusterEventsFidelity(t *testing.T) {
+	sc, err := shoggoth.ScenarioByName("rush-hour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := shoggoth.ScenarioConfigs(sc, shoggoth.Shoggoth, 24,
+		shoggoth.WithSeed(5), shoggoth.WithCycles(0.1), shoggoth.WithFidelity(shoggoth.FidelityEvents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&shoggoth.Cluster{}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cloud.Batches == 0 {
+		t.Fatal("events fidelity produced no cloud batches")
+	}
+	var sampled, processed int
+	for _, d := range res.Devices {
+		sampled += d.SampledFrames
+		processed += d.FramesProcessed
+	}
+	if sampled == 0 || processed == 0 {
+		t.Fatalf("events fidelity ran no workload: sampled=%d processed=%d", sampled, processed)
+	}
+	if res.Engine == nil || res.Engine.Events == 0 {
+		t.Fatal("event engine telemetry missing")
+	}
+	again, err := (&shoggoth.Cluster{EngineWorkers: 4}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := encodeJSON(t, res), encodeJSON(t, again); !bytes.Equal(a, b) {
+		t.Fatal("events-fidelity run not worker-count invariant")
+	}
+}
+
+// TestClusterSharedCellUplink runs the cell-tower scenario: devices
+// multiplexed onto shared uplink cells, transfers splitting each tower's
+// aggregate rate. The frame stepper cannot model the shared medium and
+// must reject the cell assignment outright.
+func TestClusterSharedCellUplink(t *testing.T) {
+	sc, err := shoggoth.ScenarioByName("cell-tower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := shoggoth.ScenarioConfigs(sc, shoggoth.Shoggoth, 12,
+		shoggoth.WithSeed(9), shoggoth.WithCycles(0.1), shoggoth.WithFidelity(shoggoth.FidelityEvents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&shoggoth.Cluster{}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cloud.Batches == 0 {
+		t.Fatal("no uploads crossed the shared cells")
+	}
+	again, err := (&shoggoth.Cluster{EngineWorkers: 8}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := encodeJSON(t, res), encodeJSON(t, again); !bytes.Equal(a, b) {
+		t.Fatal("shared-cell run not worker-count invariant")
+	}
+	if _, err := (&shoggoth.Cluster{Engine: shoggoth.EngineFrameStep}).Run(context.Background(), cfgs); err == nil {
+		t.Fatal("frame stepper must reject configs with a shared uplink cell")
+	}
+}
+
+// TestClusterEngineValidation: bad engine knobs are config errors.
+func TestClusterEngineValidation(t *testing.T) {
+	cfgs := clusterConfigs(t, 1, false, 30)
+	if _, err := (&shoggoth.Cluster{Engine: "warp"}).Run(context.Background(), cfgs); err == nil {
+		t.Fatal("unknown engine name must be rejected")
+	}
+	if _, err := (&shoggoth.Cluster{EngineWorkers: -1}).Run(context.Background(), cfgs); err == nil {
+		t.Fatal("negative engine worker count must be rejected")
+	}
+}
+
+// TestClusterUtilizationSemantics documents Utilization's contract: an
+// empty or zero-duration run reports 0 (no division by zero), and values
+// above 1 are meaningful — they say the fleet offered more labeling work
+// than the teacher absorbed within the horizon, the backlog running past
+// the end of the run.
+func TestClusterUtilizationSemantics(t *testing.T) {
+	empty := &shoggoth.ClusterResults{}
+	if u := empty.Utilization(); u != 0 {
+		t.Fatalf("empty run utilization = %v, want 0", u)
+	}
+	zeroDur := &shoggoth.ClusterResults{
+		Devices: []*shoggoth.Results{{Duration: 0}},
+		Cloud:   shoggoth.CloudStats{BusySeconds: 3},
+	}
+	if u := zeroDur.Utilization(); u != 0 {
+		t.Fatalf("zero-duration run utilization = %v, want 0 (guard, not NaN/Inf)", u)
+	}
+	overloaded := &shoggoth.ClusterResults{
+		Devices: []*shoggoth.Results{{Duration: 100}, {Duration: 80}},
+		Cloud:   shoggoth.CloudStats{BusySeconds: 150},
+	}
+	if u := overloaded.Utilization(); u != 1.5 {
+		t.Fatalf("overloaded run utilization = %v, want 1.5 (>1 = backlog past the horizon)", u)
+	}
+}

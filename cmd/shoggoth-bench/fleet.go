@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"shoggoth"
+)
+
+// FleetPerfRecord is one fleet-scale measurement: a rush-hour cluster at
+// events fidelity, driven by either the discrete-event engine or the
+// legacy frame stepper, at a given device count.
+type FleetPerfRecord struct {
+	Devices int    `json:"devices"`
+	Engine  string `json:"engine"`
+	// VirtualSec is the simulated horizon; WallSec what it cost to run.
+	VirtualSec float64 `json:"virtual_sec"`
+	WallSec    float64 `json:"wall_sec"`
+	// Events counts discrete events executed: for the event engine the
+	// EngineInfo total (frames + device-local + shared events); for the
+	// stepper the frames stepped (each Step executes its due events
+	// inline), the closest observable equivalent.
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Truncated marks stepper rows measured on a shortened virtual horizon:
+	// the stepper's O(devices) scan per frame makes the full horizon
+	// unbenchable at fleet scale. Events/sec is a rate, so rows stay
+	// comparable; wall seconds are not.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// fleetPlan is one device-count cell of the fleet benchmark. The stepper
+// horizon shrinks with fleet size (marked Truncated) so each stepper row
+// still costs tens of seconds, not hours.
+type fleetPlan struct {
+	devices       int
+	engineCycles  float64
+	stepperCycles float64
+}
+
+var fleetPlans = []fleetPlan{
+	{devices: 1_000, engineCycles: 0.05, stepperCycles: 0.05},
+	{devices: 10_000, engineCycles: 0.05, stepperCycles: 0.002},
+	{devices: 100_000, engineCycles: 0.02, stepperCycles: 0.0001},
+}
+
+// measureFleet times rush-hour clusters at 1k/10k/100k devices, events
+// fidelity, event engine vs legacy frame stepper.
+func measureFleet() ([]FleetPerfRecord, error) {
+	sc, err := shoggoth.ScenarioByName("rush-hour")
+	if err != nil {
+		return nil, err
+	}
+	var out []FleetPerfRecord
+	for _, plan := range fleetPlans {
+		for _, engine := range []string{shoggoth.EngineEvent, shoggoth.EngineFrameStep} {
+			cycles := plan.engineCycles
+			if engine == shoggoth.EngineFrameStep {
+				cycles = plan.stepperCycles
+			}
+			cfgs, err := shoggoth.ScenarioConfigs(sc, shoggoth.Shoggoth, plan.devices,
+				shoggoth.WithSeed(11), shoggoth.WithCycles(cycles),
+				shoggoth.WithFidelity(shoggoth.FidelityEvents))
+			if err != nil {
+				return nil, err
+			}
+			for i := range cfgs {
+				cfgs[i].UploadMaxWaitSec = 5 // short horizons must still exercise the cloud path
+			}
+			start := time.Now()
+			res, err := (&shoggoth.Cluster{Engine: engine}).Run(context.Background(), cfgs)
+			if err != nil {
+				return nil, fmt.Errorf("fleet bench %s @ %d devices: %w", engine, plan.devices, err)
+			}
+			wall := time.Since(start).Seconds()
+
+			rec := FleetPerfRecord{
+				Devices:    plan.devices,
+				Engine:     engine,
+				VirtualSec: cfgs[0].DurationSec,
+				WallSec:    round2(wall),
+				Truncated:  engine == shoggoth.EngineFrameStep && cycles != plan.engineCycles,
+			}
+			if res.Engine != nil {
+				rec.Events = res.Engine.Events
+			} else {
+				for _, d := range res.Devices {
+					rec.Events += int64(d.FramesTotal)
+				}
+			}
+			if wall > 0 {
+				rec.EventsPerSec = round2(float64(rec.Events) / wall)
+			}
+			out = append(out, rec)
+			fmt.Printf("perf: fleet %-10s %6dd %7.1fvs %7.1fs wall  %12d events  %12.0f ev/s%s\n",
+				engine, plan.devices, rec.VirtualSec, wall, rec.Events, rec.EventsPerSec,
+				map[bool]string{true: "  (truncated horizon)"}[rec.Truncated])
+		}
+	}
+	return out, nil
+}
+
+// fleetSpeedup returns engine-vs-stepper events/sec at the given device
+// count (0 when either row is missing).
+func fleetSpeedup(recs []FleetPerfRecord, devices int) float64 {
+	var eng, step float64
+	for _, r := range recs {
+		if r.Devices != devices {
+			continue
+		}
+		switch r.Engine {
+		case shoggoth.EngineEvent:
+			eng = r.EventsPerSec
+		case shoggoth.EngineFrameStep:
+			step = r.EventsPerSec
+		}
+	}
+	if eng <= 0 || step <= 0 {
+		return 0
+	}
+	return round2(eng / step)
+}

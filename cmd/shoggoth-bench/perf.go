@@ -48,6 +48,13 @@ type PerfFile struct {
 	SpeedupTrainNsPerStep float64 `json:"speedup_train_ns_per_step,omitempty"`
 	SpeedupInferNsPerOp   float64 `json:"speedup_infer_ns_per_frame,omitempty"`
 	AllocReductionTrain   float64 `json:"alloc_reduction_train,omitempty"`
+
+	// Fleet is the fleet-scale record: rush-hour clusters at events
+	// fidelity, 1k/10k/100k devices, event engine vs the legacy frame
+	// stepper. SpeedupFleet10k is the engine's events/sec over the
+	// stepper's at 10k devices.
+	Fleet           []FleetPerfRecord `json:"fleet,omitempty"`
+	SpeedupFleet10k float64           `json:"speedup_fleet_events_per_sec_10k,omitempty"`
 }
 
 // measurePerf benchmarks the steady-state adaptive-training step and
@@ -179,6 +186,12 @@ func runPerf(path string) error {
 
 	rec := measurePerf("workspace-buffered compute core")
 	file.Current = &rec
+	fleet, err := measureFleet()
+	if err != nil {
+		return err
+	}
+	file.Fleet = fleet
+	file.SpeedupFleet10k = fleetSpeedup(fleet, 10_000)
 	if b := file.Baseline; b != nil {
 		if rec.TrainNsPerStep > 0 {
 			file.SpeedupTrainNsPerStep = round2(b.TrainNsPerStep / rec.TrainNsPerStep)
@@ -208,6 +221,9 @@ func runPerf(path string) error {
 	if file.Baseline != nil {
 		fmt.Printf("perf: vs baseline — train %.2fx ns/step, infer %.2fx ns/frame, %.0fx fewer train allocs\n",
 			file.SpeedupTrainNsPerStep, file.SpeedupInferNsPerOp, file.AllocReductionTrain)
+	}
+	if file.SpeedupFleet10k > 0 {
+		fmt.Printf("perf: fleet event engine %.1fx stepper events/sec at 10k devices\n", file.SpeedupFleet10k)
 	}
 	fmt.Printf("perf: wrote %s\n", path)
 	return nil

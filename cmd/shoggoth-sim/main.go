@@ -65,6 +65,9 @@ func main() {
 	cloudPolicy := flag.String("cloud-policy", "fifo",
 		"cloud scheduling policy: "+strings.Join(shoggoth.CloudPolicies(), ", "))
 	cloudWorkers := flag.Int("cloud-workers", 1, "cloud teacher pipeline workers (concurrent label batches)")
+	fidelity := flag.String("fidelity", "full", "simulation fidelity: full (real models, golden-identical) or events (sparse fleet-scale mode)")
+	engine := flag.String("engine", shoggoth.EngineEvent, "cluster execution core: event (discrete-event engine) or frame-step (legacy stepper)")
+	engineWorkers := flag.Int("engine-workers", 0, "event-engine device-batch workers (wall-clock only; results are identical at any value; 0 = 1)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
 	list := flag.Bool("list", false, "list registered strategies, profiles, cloud policies and scenarios, then exit")
 	verbose := flag.Bool("v", false, "print a wall-clock perf summary from the per-session workspace counters")
@@ -80,8 +83,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	fid, err := parseFidelity(*fidelity)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	baseOpts := func(seed uint64) []shoggoth.Option {
-		opts := []shoggoth.Option{shoggoth.WithSeed(seed), shoggoth.WithCycles(*cycles)}
+		opts := []shoggoth.Option{shoggoth.WithSeed(seed), shoggoth.WithCycles(*cycles),
+			shoggoth.WithFidelity(fid)}
 		if *duration > 0 {
 			opts = append(opts, shoggoth.WithDuration(*duration))
 		}
@@ -114,6 +123,7 @@ func main() {
 		}
 		runCluster(cfgs, clusterParams{
 			queueCap: *queueCap, policy: *cloudPolicy, workers: *cloudWorkers, seed: *seed,
+			engine: *engine, engineWorkers: *engineWorkers,
 		}, *asJSON, *verbose, header)
 		return
 	}
@@ -135,6 +145,7 @@ func main() {
 		header := fmt.Sprintf("profile=%s strategy=%s", profile.Name, kinds[0])
 		runCluster(cfgs, clusterParams{
 			queueCap: *queueCap, policy: *cloudPolicy, workers: *cloudWorkers, seed: *seed,
+			engine: *engine, engineWorkers: *engineWorkers,
 		}, *asJSON, *verbose, header)
 		return
 	}
@@ -224,17 +235,34 @@ func runFleet(cfgs []shoggoth.Config, workers int, asJSON, verbose bool, header 
 
 // clusterParams bundles the cluster-mode knobs.
 type clusterParams struct {
-	queueCap int
-	policy   string
-	workers  int
-	seed     uint64
+	queueCap      int
+	policy        string
+	workers       int
+	seed          uint64
+	engine        string
+	engineWorkers int
+}
+
+// parseFidelity maps the -fidelity flag onto the Fidelity constants.
+func parseFidelity(name string) (shoggoth.Fidelity, error) {
+	switch strings.ToLower(name) {
+	case "", "full":
+		return shoggoth.FidelityFull, nil
+	case "events":
+		return shoggoth.FidelityEvents, nil
+	default:
+		return "", fmt.Errorf("unknown -fidelity %q (want full or events)", name)
+	}
 }
 
 // runCluster steps prebuilt device configs against one shared cloud
 // labeling service and prints per-device results plus the queue's
 // contention statistics.
 func runCluster(cfgs []shoggoth.Config, p clusterParams, asJSON, verbose bool, header string) {
-	cluster := &shoggoth.Cluster{QueueCap: p.queueCap, Policy: p.policy, Workers: p.workers}
+	cluster := &shoggoth.Cluster{
+		QueueCap: p.queueCap, Policy: p.policy, Workers: p.workers,
+		Engine: p.engine, EngineWorkers: p.engineWorkers,
+	}
 	if verbose {
 		cluster.Perf = &shoggoth.PerfCounters{}
 		clock := shoggoth.WallClock()
@@ -276,6 +304,9 @@ func runCluster(cfgs []shoggoth.Config, p clusterParams, asJSON, verbose bool, h
 	fmt.Printf("\ncloud: %d batches (%d dropped), queue delay mean %.3fs max %.3fs, teacher busy %.1fs (%.1f%% utilization)\n",
 		c.Batches, c.DroppedBatches, c.QueueDelayMeanSec, c.QueueDelayMaxSec,
 		c.BusySeconds, res.Utilization()*100)
+	if res.Engine != nil {
+		fmt.Printf("engine: %d events over %d epochs\n", res.Engine.Events, res.Engine.Epochs)
+	}
 }
 
 func printPerf(pc *shoggoth.PerfCounters) {

@@ -50,3 +50,54 @@ func TestScenarioClusterDoubleRun(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetDeterminism10k is the tentpole determinism proof at fleet
+// scale: a 10k-device rush-hour cluster at events fidelity, run twice
+// serially and twice sharded across 8 engine workers, must produce
+// byte-identical ClusterResults JSON every time. It runs even under
+// -short, so CI's `go test -race ./...` drives the sharded engine — worker
+// pool, outbox merges, shared scheduler — with the race detector watching.
+func TestFleetDeterminism10k(t *testing.T) {
+	sc, err := shoggoth.ScenarioByName("rush-hour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) ([]byte, *shoggoth.ClusterResults) {
+		cfgs, err := shoggoth.ScenarioConfigs(sc, shoggoth.Shoggoth, 10_000,
+			shoggoth.WithSeed(11), shoggoth.WithCycles(0.05), shoggoth.WithFidelity(shoggoth.FidelityEvents))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cfgs {
+			// Short horizon: flush upload buffers early so the cloud path
+			// (queueing, labeling, training pricing) genuinely exercises.
+			cfgs[i].UploadMaxWaitSec = 5
+		}
+		res, err := (&shoggoth.Cluster{EngineWorkers: workers}).Run(context.Background(), cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return encodeJSON(t, res), res
+	}
+	serial, res := run(1)
+	if len(res.Devices) != 10_000 {
+		t.Fatalf("want 10000 device results, got %d", len(res.Devices))
+	}
+	var sampled int
+	for _, d := range res.Devices {
+		sampled += d.SampledFrames
+	}
+	if sampled == 0 || res.Cloud.Batches == 0 {
+		t.Fatalf("fleet did no cloud work (sampled=%d batches=%d) — the double run proved nothing",
+			sampled, res.Cloud.Batches)
+	}
+	if serial2, _ := run(1); !bytes.Equal(serial, serial2) {
+		t.Fatal("two serial 10k-device runs produced different ClusterResults JSON")
+	}
+	if sharded, _ := run(8); !bytes.Equal(serial, sharded) {
+		t.Fatal("EngineWorkers=8 changed the 10k-device ClusterResults")
+	}
+	if sharded2, _ := run(8); !bytes.Equal(serial, sharded2) {
+		t.Fatal("second sharded 10k-device run diverged")
+	}
+}

@@ -122,8 +122,10 @@ type Service struct {
 	agg         queueAccum
 	devices     map[string]*ServiceDevice
 
-	// sched drives deferred dispatch for reordering policies (Bind).
-	sched       *sim.Scheduler
+	// sched drives deferred dispatch for reordering policies (Bind). A
+	// Timeline rather than a concrete scheduler so the fleet engine can
+	// substitute its shared event queue.
+	sched       sim.Timeline
 	dispatchSet bool
 	dispatchAt  float64
 }
@@ -148,10 +150,10 @@ func NewService(cfg ServiceConfig) *Service {
 	}
 }
 
-// Bind attaches the virtual-time scheduler that drives deferred dispatch.
+// Bind attaches the virtual-time timeline that drives deferred dispatch.
 // Reordering (non-Immediate) policies require it before the first Enqueue;
 // arrival-order policies and the real-time Admit path never use it.
-func (s *Service) Bind(sched *sim.Scheduler) { s.sched = sched }
+func (s *Service) Bind(tl sim.Timeline) { s.sched = tl }
 
 // Workers returns the teacher pipeline pool size.
 func (s *Service) Workers() int { return len(s.workers) }

@@ -17,12 +17,36 @@ import (
 	"shoggoth/internal/video"
 )
 
+// Fidelity selects how much of the deployment a run physically simulates.
+type Fidelity string
+
+const (
+	// FidelityFull — the default (also the empty string) — runs the real
+	// models: student inference, teacher labeling over rendered features,
+	// SGD training. Every Results field is populated and the output is
+	// bit-identical to the frozen golden captures.
+	FidelityFull Fidelity = "full"
+	// FidelityEvents is the fleet-scale fidelity: the edge compute model
+	// (device load, sampler, codec, network, cloud queueing, controller and
+	// session timing) runs exactly, but frames carry no feature tensors,
+	// the student is never instantiated and training sessions are priced
+	// without running SGD. Accuracy metrics (mAP, IoU) read zero; timing,
+	// bandwidth, queueing and session counts remain faithful. Requires a
+	// strategy with a student model (Cloud-Only's continuous 30 fps stream
+	// is not represented in this fidelity).
+	FidelityEvents Fidelity = "events"
+)
+
 // Config fully describes one experiment run.
 type Config struct {
 	Kind        StrategyKind
 	Profile     *video.Profile
 	DurationSec float64
 	Seed        uint64
+
+	// Fidelity selects full-model simulation (default) or the events-only
+	// fleet fidelity; see the Fidelity constants.
+	Fidelity Fidelity
 
 	// DeviceID names this deployment on its cloud labeling service. Empty
 	// is fine for a private (single-device) run; a Cluster requires unique
@@ -73,6 +97,13 @@ type Config struct {
 	// netsim determinism contract (pure functions of virtual time).
 	UplinkTrace   netsim.Trace
 	DownlinkTrace netsim.Trace
+
+	// UplinkCell, when non-zero, places this device's uploads on a shared
+	// cell-tower medium (1-based cell id): the cell's aggregate uplink rate
+	// splits evenly across concurrent transfers, so a flush's delivery time
+	// depends on who else is uploading. Only the fleet event engine models
+	// shared media; 0 (the default) keeps the private per-device uplink.
+	UplinkCell int
 
 	// Pretrained, when set, is cloned as the deployed student instead of
 	// pretraining from scratch (lets experiment harnesses pretrain once per
@@ -172,6 +203,18 @@ func (c *Config) Validate() error {
 	}
 	if c.SampleRate < 0 {
 		return fmt.Errorf("core: negative sample rate")
+	}
+	switch c.Fidelity {
+	case "", FidelityFull:
+	case FidelityEvents:
+		if !d.Traits.Student {
+			return fmt.Errorf("core: fidelity %q needs a strategy with an edge student model; %s streams continuously and has no events-fidelity equivalent", c.Fidelity, d.Name)
+		}
+	default:
+		return fmt.Errorf("core: unknown fidelity %q (want %q or %q)", c.Fidelity, FidelityFull, FidelityEvents)
+	}
+	if c.UplinkCell < 0 {
+		return fmt.Errorf("core: negative uplink cell id %d", c.UplinkCell)
 	}
 	if err := cloud.ValidatePolicy(c.CloudPolicy); err != nil {
 		return err

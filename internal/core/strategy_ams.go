@@ -15,17 +15,24 @@ type amsStrategy struct {
 	BaseStrategy
 	student *detect.Student // cloud-resident copy
 	trainer *detect.Trainer
-	busyTil float64 // cloud training serialisation
+	costCfg detect.TrainerConfig // prices sessions even without a trainer
+	busyTil float64              // cloud training serialisation
 }
 
 func (st *amsStrategy) Init(sys *System) error {
 	st.Sys = sys
-	st.student = sys.Student().Clone()
 	// AMS fine-tunes the entire model in the cloud; its replay buffer holds
 	// raw samples (no latent aging) at the same capacity.
 	tc := sys.Config().Trainer
 	tc.Placement = detect.PlacementInput
-	st.trainer = detect.NewTrainer(st.student, tc, sys.SeededRNG(5))
+	st.costCfg = tc
+	if sys.Student() == nil {
+		// Events fidelity: cloud rounds are still scheduled and priced
+		// (OnTrainDue), they just run no SGD and stream no weights.
+		return nil
+	}
+	st.student = sys.Student().Clone()
+	st.trainer = detect.NewTrainer(st.student, tc, sys.SeededRNG(RNGStreamAMSTrain))
 	ws := sys.Workspace()
 	st.trainer.AttachWorkspace(ws.Pool, ws.Perf)
 	return nil
@@ -47,19 +54,23 @@ func (st *amsStrategy) OnCloudBatch(frames []*video.Frame, labels [][]detect.Tea
 func (st *amsStrategy) OnTrainDue(batch []detect.LabeledRegion, now float64) {
 	sys := st.Sys
 	cfg := sys.Config()
-	cost := sys.ClaimSessionCost(st.trainer.Config)
+	cost := sys.ClaimSessionCost(st.costCfg)
 	dur := cost.TotalSec() / cfg.AMSCloudSpeedup
 	start := math.Max(now, st.busyTil)
 	end := start + dur
 	st.busyTil = end
 	sys.Scheduler().At(end, func(endNow float64) {
-		st.trainer.RunSession(batch)
+		if st.trainer != nil {
+			st.trainer.RunSession(batch)
+		}
 		sys.AddSession()
 		bytes := netsim.ModelUpdateBytes()
 		sys.Usage().AddDown(bytes)
 		arrive := endNow + cfg.DownlinkTransfer(bytes, endNow)
 		sys.Scheduler().At(arrive, func(applyNow float64) {
-			st.applyUpdate()
+			if st.trainer != nil {
+				st.applyUpdate()
+			}
 			sys.RecordSession(SessionRecord{Start: start, End: endNow, Applied: applyNow})
 		})
 	})

@@ -21,7 +21,12 @@ type edgeTrainStrategy struct {
 
 func (st *edgeTrainStrategy) Init(sys *System) error {
 	st.Sys = sys
-	st.trainer = detect.NewTrainer(sys.Student(), sys.Config().Trainer, sys.SeededRNG(4))
+	if sys.Student() == nil {
+		// Events fidelity: no student to fine-tune. Sessions are still
+		// scheduled and priced (OnTrainDue), they just run no SGD.
+		return nil
+	}
+	st.trainer = detect.NewTrainer(sys.Student(), sys.Config().Trainer, sys.SeededRNG(RNGStreamEdgeTrain))
 	ws := sys.Workspace()
 	st.trainer.AttachWorkspace(ws.Pool, ws.Perf)
 	return nil
@@ -50,15 +55,19 @@ func (st *edgeTrainStrategy) OnCloudBatch(frames []*video.Frame, labels [][]dete
 }
 
 // OnTrainDue schedules an adaptive-training session on the edge device.
+// Without a trainer (events fidelity) the session is priced and occupies
+// the device for its full duration — only the SGD itself is skipped.
 func (st *edgeTrainStrategy) OnTrainDue(batch []detect.LabeledRegion, now float64) {
 	sys := st.Sys
-	cost := sys.ClaimSessionCost(st.trainer.Config)
+	cost := sys.ClaimSessionCost(sys.Config().Trainer)
 	start := math.Max(now, st.busyTil)
 	end := start + cost.TotalSec()
 	st.busyTil = end
 	sys.Scheduler().At(start, func(float64) { sys.Device().BeginTraining(end) })
 	sys.Scheduler().At(end, func(endNow float64) {
-		st.trainer.RunSession(batch)
+		if st.trainer != nil {
+			st.trainer.RunSession(batch)
+		}
 		sys.AddSession()
 		sys.RecordSession(SessionRecord{Start: start, End: endNow, Applied: endNow})
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"shoggoth/internal/cloud"
@@ -25,6 +26,18 @@ type System struct {
 	rng    *rand.Rand
 	sched  *sim.Scheduler
 	stream *video.Stream
+	sparse *video.SparseStream // events fidelity: frames without features
+
+	// shared is the timeline for cross-device work (upload arrivals that
+	// land on the cloud service). Privately it is the local scheduler; under
+	// the fleet engine it is this device's Outbox, merged serially so the
+	// global event order is worker-count invariant. uplink, when set,
+	// replaces the point-to-point transfer pricing with a shared medium.
+	shared  sim.Timeline
+	uplink  UplinkSender
+	fleet   bool // cfg.Fidelity == FidelityEvents
+	uploads bool // strategy trait: samples frames for upload
+	emitted bool // a flush posted to shared since the last AdvanceTo check
 
 	student *detect.Student
 	teacher *detect.Teacher
@@ -68,6 +81,14 @@ func (c *Config) adaptive() bool {
 	return ok && d.Traits.Adaptive && c.SampleRate == 0
 }
 
+// UplinkSender prices and delivers one encoded upload on a shared medium:
+// bytes leave the device at start (encoding done) and deliver runs on the
+// shared timeline when the transfer completes. Implementations re-price
+// in-flight transfers as devices join and leave the medium.
+type UplinkSender interface {
+	Send(bytes int, start float64, deliver func(now float64))
+}
+
 // SystemOptions injects shared infrastructure into a deployment. The zero
 // value gives the system a private scheduler and a private cloud service —
 // the classic one-edge-one-cloud run.
@@ -79,6 +100,14 @@ type SystemOptions struct {
 	// on it and contends with every other registered device for teacher
 	// capacity.
 	Cloud *cloud.Service
+	// Shared, when set, receives the cross-device events this deployment
+	// emits (upload arrivals). The fleet engine passes the device's Outbox;
+	// nil routes them to the deployment's own scheduler, the classic
+	// single-clock behaviour.
+	Shared sim.Timeline
+	// Uplink, when set, carries this device's uploads over a shared medium
+	// instead of the config's point-to-point uplink model.
+	Uplink UplinkSender
 }
 
 // NewSystem builds a deployment for the config. If cfg.Pretrained is nil the
@@ -100,15 +129,32 @@ func NewSystemOpts(cfg Config, opts SystemOptions) (*System, error) {
 	}
 	s := &System{
 		cfg:       cfg,
-		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x51057E)),
+		rng:       rand.New(rand.NewPCG(cfg.Seed, RNGStreamRun)),
 		sched:     sched,
 		collector: metrics.NewCollector(),
 		ws:        newWorkspace(cfg.PerfClock),
+		fleet:     cfg.Fidelity == FidelityEvents,
+		uploads:   desc.Traits.Uploads,
 	}
-	s.stream = video.NewStream(cfg.Profile, cfg.Seed)
+	s.shared = opts.Shared
+	if s.shared == nil {
+		s.shared = sched
+	}
+	s.uplink = opts.Uplink
+	if cfg.UplinkCell != 0 && s.uplink == nil {
+		return nil, fmt.Errorf("core: device %q sets UplinkCell %d but the runner models no shared medium (only the fleet event engine does)", cfg.DeviceID, cfg.UplinkCell)
+	}
+	if s.fleet {
+		// Events fidelity: frames are materialized sparsely — only when
+		// sampled, and without feature tensors — so a 100k-device fleet
+		// never renders what nothing will consume.
+		s.sparse = video.NewSparseStream(cfg.Profile, cfg.Seed)
+	} else {
+		s.stream = video.NewStream(cfg.Profile, cfg.Seed)
+	}
 	// The teacher is seeded from the run seed only, so every strategy on
 	// the same (profile, seed) sees identical teacher behaviour.
-	s.teacher = detect.NewTeacher(cfg.Profile, s.SeededRNG(2))
+	s.teacher = detect.NewTeacher(cfg.Profile, s.SeededRNG(RNGStreamTeacher))
 	s.device = edge.NewDevice(cfg.Device)
 
 	s.cloudSvc = opts.Cloud
@@ -130,7 +176,7 @@ func NewSystemOpts(cfg Config, opts SystemOptions) (*System, error) {
 	}
 	s.cloudDev = dev
 
-	if desc.Traits.Student {
+	if desc.Traits.Student && !s.fleet {
 		if cfg.Pretrained != nil {
 			s.student = cfg.Pretrained.Clone()
 		} else {
@@ -172,12 +218,95 @@ func (s *System) Step() bool {
 		return false
 	}
 	s.sched.AdvanceTo(t)
-	f := s.stream.Next()
-	s.results.FramesTotal++
-	s.strategy.OnFrame(f, t, s.dt)
-	s.frameIdx++
+	s.processFrame(t)
 	s.emitWindows(t)
 	return s.frameIdx < s.nFrames
+}
+
+// processFrame runs one camera frame at its due time: the full-fidelity
+// path renders the frame and dispatches the strategy's OnFrame hook; the
+// events fidelity runs the compute/sampling model directly.
+func (s *System) processFrame(t float64) {
+	s.results.FramesTotal++
+	if s.fleet {
+		s.fleetFrame(t)
+	} else {
+		f := s.stream.Next()
+		s.strategy.OnFrame(f, t, s.dt)
+	}
+	s.frameIdx++
+}
+
+// fleetFrame is the events-fidelity frame step: the device compute model
+// ticks, the sampler decides, and only sampled frames are materialized —
+// sparsely, without feature tensors — for upload. The strategy's OnFrame
+// hook is bypassed (its cloud-batch and train-due hooks still fire), so
+// every events-fidelity strategy shares this canonical tick+sample path.
+func (s *System) fleetFrame(t float64) {
+	if s.device.Tick(t, s.dt) {
+		s.results.FramesProcessed++
+	}
+	if !s.uploads {
+		return
+	}
+	if s.sampler.Sample(t) {
+		if len(s.sampleBuf) == 0 {
+			s.firstBuffered = t
+		}
+		s.sampleBuf = append(s.sampleBuf, s.sparse.Frame(s.frameIdx, t))
+		s.results.SampledFrames++
+	}
+	if len(s.sampleBuf) > 0 &&
+		(len(s.sampleBuf) >= s.cfg.UploadFrames || t-s.firstBuffered >= s.cfg.UploadMaxWaitSec) {
+		s.flushBuffer(t)
+	}
+}
+
+// NextEventTime reports the virtual time of this deployment's next work
+// item — camera frame or local scheduler event — implementing the fleet
+// engine's Actor contract. ok is false once nothing remains.
+func (s *System) NextEventTime() (float64, bool) {
+	ft, fok := s.NextFrameTime()
+	et, eok := s.sched.NextTime()
+	switch {
+	case fok && (!eok || ft <= et):
+		return ft, true
+	case eok:
+		return et, true
+	}
+	return 0, false
+}
+
+// AdvanceTo fast-forwards the deployment, executing every camera frame and
+// local event strictly before limit in virtual-time order (events due at a
+// frame's time run first, exactly as Step orders them). It returns early
+// the moment a flush posts to the shared timeline — the engine's
+// emission-halt contract: later local work may depend on shared state that
+// the emission itself will change, so the engine must merge and re-price
+// before this device continues.
+func (s *System) AdvanceTo(limit float64) {
+	for {
+		ft, fok := s.NextFrameTime()
+		if fok && ft < limit {
+			s.sched.AdvanceTo(ft)
+			s.processFrame(ft)
+			s.emitWindows(ft)
+			if s.emitted {
+				s.emitted = false
+				return
+			}
+			continue
+		}
+		et, eok := s.sched.NextTime()
+		if !eok || et >= limit {
+			return
+		}
+		s.sched.AdvanceTo(et)
+		if s.emitted {
+			s.emitted = false
+			return
+		}
+	}
 }
 
 // Finish drains the scheduler and assembles the Results. A fully-played
@@ -323,11 +452,20 @@ func (s *System) flushBuffer(t float64) {
 	alpha := s.drainAlpha()
 	lambda := s.device.DrainUsageReport()
 	// The upload hits the network once encoding finishes; a time-varying
-	// uplink trace prices it at that moment, not at the flush.
-	arrive := t + encSec + cfg.UplinkTransfer(bytes, t+encSec)
-	s.sched.At(arrive, func(now float64) {
+	// uplink trace (or the shared medium) prices it at that moment, not at
+	// the flush. Delivery lands on the shared timeline: privately that is
+	// the local scheduler (bit-identical to the classic path); under the
+	// fleet engine it is this device's Outbox.
+	start := t + encSec
+	deliver := func(now float64) {
 		s.cloudReceive(frames, alpha, lambda, now)
-	})
+	}
+	if s.uplink != nil {
+		s.uplink.Send(bytes, start, deliver)
+	} else {
+		s.shared.At(start+cfg.UplinkTransfer(bytes, start), deliver)
+	}
+	s.emitted = true
 }
 
 // cloudReceive is the cloud's handler for an uploaded sample batch: it
@@ -384,6 +522,13 @@ func (s *System) DepositLabels(frames []*video.Frame, labels [][]detect.TeacherL
 // accumulateBatch converts labeled frames into training regions, applying
 // the per-frame subsample that keeps region batches at the paper's scale.
 func (s *System) accumulateBatch(frames []*video.Frame, labels [][]detect.TeacherLabel) {
+	if s.fleet {
+		// Events fidelity trains nothing: count the frames so the session
+		// cadence (OnTrainDue) stays faithful, but build no regions —
+		// sparse frames carry no features to train on.
+		s.batchFrames += len(frames)
+		return
+	}
 	bg := s.cfg.Profile.BackgroundClass()
 	for i, f := range frames {
 		all := detect.BuildTrainingBatch(f, labels[i], bg)

@@ -37,26 +37,44 @@ func (sc *Scenario) Configs(kind core.StrategyKind, n int, opts ...strategy.Opti
 	if len(slices) == 0 {
 		slices = []DeviceSpec{{}}
 	}
-	cfgs := make([]core.Config, n)
-	for i := 0; i < n; i++ {
-		dev := slices[i%len(slices)]
+	// Build each slice ONCE and stamp per-device identity afterwards. The
+	// expensive, immutable ingredients — the transformed profile and the
+	// network traces (pure functions of virtual time) — are shared by every
+	// device of a slice, so a 100k-device fleet holds len(Devices) worlds,
+	// not 100k copies.
+	built := make([]core.Config, len(slices))
+	cells := make([]int, len(slices))
+	for si, dev := range slices {
 		p, _, err := sc.deviceProfile(dev)
 		if err != nil {
-			return nil, fmt.Errorf("scenario %s: device %d: %w", sc.Name, i, err)
+			return nil, fmt.Errorf("scenario %s: device slice %d: %w", sc.Name, si, err)
 		}
 		cfg := strategy.Configure(kind, p, opts...)
 		cfg.DurationSec = ref.DurationSec
-		cfg.Seed = ref.Seed + uint64(i)
-		cfg.DeviceID = fmt.Sprintf("edge-%d", i+1)
 
 		net := sc.deviceNetwork(dev)
+		if net.SharedCells < 0 {
+			return nil, fmt.Errorf("scenario %s: device slice %d: negative shared cell count %d", sc.Name, si, net.SharedCells)
+		}
+		cells[si] = net.SharedCells
 		cfg.Uplink, cfg.UplinkTrace, err = buildTrace(net.Up, cfg.Uplink)
 		if err != nil {
-			return nil, fmt.Errorf("scenario %s: device %d uplink: %w", sc.Name, i, err)
+			return nil, fmt.Errorf("scenario %s: device slice %d uplink: %w", sc.Name, si, err)
 		}
 		cfg.Downlink, cfg.DownlinkTrace, err = buildTrace(net.Down, cfg.Downlink)
 		if err != nil {
-			return nil, fmt.Errorf("scenario %s: device %d downlink: %w", sc.Name, i, err)
+			return nil, fmt.Errorf("scenario %s: device slice %d downlink: %w", sc.Name, si, err)
+		}
+		built[si] = cfg
+	}
+
+	cfgs := make([]core.Config, n)
+	for i := 0; i < n; i++ {
+		cfg := built[i%len(slices)]
+		cfg.Seed = ref.Seed + uint64(i)
+		cfg.DeviceID = fmt.Sprintf("edge-%d", i+1)
+		if c := cells[i%len(slices)]; c > 0 {
+			cfg.UplinkCell = 1 + i%c
 		}
 		cfgs[i] = cfg
 	}

@@ -64,6 +64,13 @@ type DeviceSpec struct {
 type NetworkSpec struct {
 	Up   *TraceSpec `json:"up,omitempty"`
 	Down *TraceSpec `json:"down,omitempty"`
+	// SharedCells > 0 makes Up the aggregate rate of that many cell towers
+	// shared by the fleet instead of a per-device link: device i joins cell
+	// 1 + i%SharedCells and concurrent uploads within a cell split its
+	// bandwidth (processor sharing, re-priced on every join and completion).
+	// Only the fleet event engine models the shared medium; runners that
+	// price uplinks per device reject configs carrying a cell assignment.
+	SharedCells int `json:"shared_cells,omitempty"`
 }
 
 // Trace kinds accepted by TraceSpec.Kind.
@@ -119,7 +126,7 @@ func (sc *Scenario) clone() *Scenario {
 }
 
 func (ns *NetworkSpec) clone() *NetworkSpec {
-	out := NetworkSpec{}
+	out := NetworkSpec{SharedCells: ns.SharedCells}
 	if ns.Up != nil {
 		up := *ns.Up
 		up.Windows = append([]netsim.Window(nil), ns.Up.Windows...)
@@ -152,6 +159,9 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("scenario %s: device slice %d: %w", sc.Name, i, err)
 		}
 		net := sc.deviceNetwork(dev)
+		if net.SharedCells < 0 {
+			return fmt.Errorf("scenario %s: device slice %d: negative shared cell count %d", sc.Name, i, net.SharedCells)
+		}
 		if _, _, err := buildTrace(net.Up, netsim.DefaultUplink()); err != nil {
 			return fmt.Errorf("scenario %s: device slice %d uplink: %w", sc.Name, i, err)
 		}

@@ -11,7 +11,7 @@ import (
 )
 
 func TestStockScenariosRegisteredAndValid(t *testing.T) {
-	want := []string{"steady", "rush-hour", "day-night", "lossy-uplink", "degraded-cell", "hetero-fleet"}
+	want := []string{"steady", "rush-hour", "day-night", "lossy-uplink", "degraded-cell", "cell-tower", "hetero-fleet"}
 	names := Names()
 	if len(names) < len(want) {
 		t.Fatalf("expected at least %d stock scenarios, got %v", len(want), names)
@@ -230,5 +230,63 @@ func TestByNameReturnsIsolatedCopies(t *testing.T) {
 	b, _ := ByName("lossy-uplink")
 	if b.Network.Up.Windows[0].EndSec == 999 || b.Summary == "mutated" {
 		t.Fatal("registry state leaked through a ByName copy")
+	}
+}
+
+// TestConfigsShareSliceWorlds locks the fleet-scale memory contract: every
+// device of a slice references the SAME profile and trace instances — both
+// immutable at run time — so a 100k-device fleet holds O(len(Devices))
+// world state rather than 100k transformed copies.
+func TestConfigsShareSliceWorlds(t *testing.T) {
+	sc, err := ByName("rush-hour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := sc.Configs(core.Shoggoth, 9, strategy.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Devices 1, 4 and 7 are the same slice (phase-shifted workload).
+	if cfgs[1].Profile == nil || cfgs[1].Profile != cfgs[4].Profile || cfgs[4].Profile != cfgs[7].Profile {
+		t.Fatal("same-slice devices should share one transformed profile instance")
+	}
+	if cfgs[1].UplinkTrace == nil || cfgs[1].UplinkTrace != cfgs[4].UplinkTrace {
+		t.Fatal("same-slice devices should share one uplink trace instance")
+	}
+	// Identity still varies per device.
+	if cfgs[1].Seed == cfgs[4].Seed || cfgs[1].DeviceID == cfgs[4].DeviceID {
+		t.Fatal("shared worlds must not collapse per-device seed or id")
+	}
+}
+
+// TestConfigsAssignUplinkCells checks cell-tower fan-out: SharedCells > 0
+// deals devices round-robin onto 1-based cells, and scenarios without a
+// shared medium leave the assignment at zero (private uplink).
+func TestConfigsAssignUplinkCells(t *testing.T) {
+	sc, err := ByName("cell-tower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := sc.Configs(core.Shoggoth, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		if want := 1 + i%4; cfg.UplinkCell != want {
+			t.Fatalf("device %d: UplinkCell %d, want %d", i, cfg.UplinkCell, want)
+		}
+	}
+	steady, err := ByName("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := steady.Configs(core.Shoggoth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range plain {
+		if cfg.UplinkCell != 0 {
+			t.Fatalf("steady device %d: unexpected cell %d", i, cfg.UplinkCell)
+		}
 	}
 }

@@ -72,6 +72,21 @@ func init() {
 	})
 
 	MustRegister(Scenario{
+		Name: "cell-tower",
+		Summary: "a fleet multiplexed onto shared ~200 Mbps cell towers: concurrent uploads split each tower's " +
+			"diurnal aggregate rate (fleet event engine only)",
+		Devices: []DeviceSpec{
+			{},
+			{Workload: scriptPhase(120)},
+			{Workload: scriptPhase(240)},
+		},
+		Network: NetworkSpec{
+			Up:          &TraceSpec{Kind: TraceDiurnal, BandwidthBps: 200e6, PeriodSec: 720, Depth: 0.5},
+			SharedCells: 4,
+		},
+	})
+
+	MustRegister(Scenario{
 		Name:    "hetero-fleet",
 		Summary: "one cloud serving three dissimilar cameras: ua-detrac, phase-shifted kitti, shuffled slow waymo",
 		Devices: []DeviceSpec{

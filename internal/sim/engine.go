@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Actor is a simulated component the fleet Engine advances in virtual time:
+// it reports the time of its next interesting event (frame due, local
+// training milestone, …) and fast-forwards itself to a limit, executing
+// everything strictly before it. An actor advancing inside a parallel shard
+// may touch only its own state; anything destined for shared state must be
+// posted to its Outbox, and the actor must stop advancing as soon as it has
+// emitted (the emission-halt contract) so the engine can merge and re-price
+// the global timeline before any later local work observes it.
+type Actor interface {
+	// NextEventTime returns the virtual time of the actor's next event; ok
+	// is false once the actor has nothing left to do.
+	NextEventTime() (t float64, ok bool)
+	// AdvanceTo executes the actor's work strictly before limit, stopping
+	// early if it posts to its Outbox.
+	AdvanceTo(limit float64)
+}
+
+// outEvent is one buffered emission: a callback bound for the shared
+// timeline, held until the serial merge assigns it a global sequence number.
+type outEvent struct {
+	at float64
+	fn func(now float64)
+}
+
+// Outbox is the Timeline handed to an actor for cross-device work. Posts
+// buffer locally — safe inside a parallel shard — and the engine drains
+// them into the shared scheduler serially, in device-index order, so the
+// global (time, seq) order is identical at any worker count.
+type Outbox struct {
+	events []outEvent
+}
+
+// At implements Timeline by buffering the event for the next serial merge.
+func (o *Outbox) At(t float64, fn func(now float64)) {
+	o.events = append(o.events, outEvent{at: t, fn: fn})
+}
+
+// Pending returns the number of buffered emissions.
+func (o *Outbox) Pending() int { return len(o.events) }
+
+// drainInto transfers the buffered events onto the shared scheduler in
+// emission order (the scheduler assigns the authoritative seq numbers).
+func (o *Outbox) drainInto(s *Scheduler) {
+	for i := range o.events {
+		s.At(o.events[i].at, o.events[i].fn)
+	}
+	o.events = o.events[:0]
+}
+
+// Engine is the fleet's discrete-event core. It owns one shared scheduler
+// (cloud service dispatch, upload arrivals, shared-medium events) plus N
+// actors with private event queues, and interleaves them under a global
+// order: every device event strictly before the next shared event runs
+// first, then the shared event executes serially. Devices between shared
+// events are independent by construction — their only communication channel
+// is the outbox, drained serially — so the engine may advance any subset of
+// them concurrently without changing a single result byte.
+type Engine struct {
+	shared  *Scheduler
+	actors  []Actor
+	out     []*Outbox
+	workers int
+
+	// Indexed min-heap over device next-event times: heap holds device
+	// indices ordered by (keys[i], i), pos maps device → heap slot (-1 when
+	// absent). A total-order comparator makes the pop sequence independent
+	// of internal layout, so determinism never rests on insertion order.
+	keys []float64
+	pos  []int
+	heap []int
+
+	batch []int // devices popped for the current epoch
+	bn    int
+
+	// Serial-phase bookkeeping: local schedulers ping MarkDirty (via their
+	// wakers) when a shared-timeline callback posts fresh device-local work,
+	// so only those devices need their heap keys recomputed — never an O(N)
+	// rescan per epoch.
+	inSerial  bool
+	dirty     []int
+	dirtyMark []bool
+	dn        int
+
+	epochs int64
+}
+
+// NewEngine creates an engine over the shared scheduler. workers ≤ 1 runs
+// every epoch inline; larger values shard each device batch across that
+// many goroutines (results are byte-identical either way).
+func NewEngine(shared *Scheduler, workers int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{shared: shared, workers: workers}
+}
+
+// Add registers an actor and its outbox, returning the device index used
+// for ordering and MarkDirty. Call only before Run.
+func (e *Engine) Add(a Actor, out *Outbox) int {
+	e.actors = append(e.actors, a)
+	e.out = append(e.out, out)
+	return len(e.actors) - 1
+}
+
+// MarkDirty records that device i gained local work during the serial
+// phase. Outside the serial phase it is a no-op: a device dirtying itself
+// while advancing is already handled by the merge that follows its batch.
+func (e *Engine) MarkDirty(i int) {
+	if !e.inSerial || e.dirtyMark[i] {
+		return
+	}
+	e.dirtyMark[i] = true
+	e.dirty[e.dn] = i
+	e.dn++
+}
+
+// Epochs returns the number of engine iterations (device batches plus
+// serial phases) executed so far.
+func (e *Engine) Epochs() int64 { return e.epochs }
+
+// Run executes the fleet until no actor or shared event remains at or
+// before end. Shared events at exactly end still run (matching the
+// drain-to-duration semantics of a single Session's Finish); device-local
+// work at end is left to each actor's own finalization.
+//
+//shoggoth:hotpath
+func (e *Engine) Run(ctx context.Context, end float64) error {
+	e.init()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tb, hasShared := e.shared.NextTime()
+		limit := end
+		if hasShared && tb < limit {
+			limit = tb
+		}
+		e.popBatch(limit)
+		if e.bn == 0 {
+			if hasShared && tb <= end {
+				e.inSerial = true
+				e.shared.AdvanceTo(tb)
+				e.inSerial = false
+				e.flushDirty()
+				e.epochs++
+				continue
+			}
+			return nil
+		}
+		e.advanceBatch(limit)
+		e.mergeBatch()
+		e.epochs++
+	}
+}
+
+// init sizes the per-device arrays and seeds the heap from every actor's
+// first event time. Buffers are reused across Runs of the same size.
+func (e *Engine) init() {
+	n := len(e.actors)
+	if len(e.keys) < n {
+		e.keys = make([]float64, n)
+		e.pos = make([]int, n)
+		e.heap = make([]int, 0, n)
+		e.batch = make([]int, n)
+		e.dirty = make([]int, n)
+		e.dirtyMark = make([]bool, n)
+	}
+	e.heap = e.heap[:0]
+	e.bn, e.dn = 0, 0
+	for i := 0; i < n; i++ {
+		e.pos[i] = -1
+		e.dirtyMark[i] = false
+		if t, ok := e.actors[i].NextEventTime(); ok {
+			e.keys[i] = t
+			e.push(i)
+		}
+	}
+}
+
+// popBatch removes every device whose next event is strictly before limit
+// into e.batch, sorted by device index so chunk assignment and the merge
+// order are canonical.
+func (e *Engine) popBatch(limit float64) {
+	e.bn = 0
+	for len(e.heap) > 0 {
+		i := e.heap[0]
+		if e.keys[i] >= limit {
+			break
+		}
+		e.removeTop()
+		e.batch[e.bn] = i
+		e.bn++
+	}
+	sort.Ints(e.batch[:e.bn])
+}
+
+// advanceBatch fast-forwards every popped device to limit — inline for one
+// worker, otherwise on contiguous chunks across the worker pool. Devices in
+// a batch share no mutable state (emissions buffer in per-device outboxes),
+// so the split affects wall time only.
+func (e *Engine) advanceBatch(limit float64) {
+	if e.workers <= 1 || e.bn <= 1 {
+		for k := 0; k < e.bn; k++ {
+			e.actors[e.batch[k]].AdvanceTo(limit)
+		}
+		return
+	}
+	chunk := (e.bn + e.workers - 1) / e.workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < e.bn; lo += chunk {
+		hi := lo + chunk
+		if hi > e.bn {
+			hi = e.bn
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				e.actors[e.batch[k]].AdvanceTo(limit)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// mergeBatch drains the popped devices' outboxes into the shared scheduler
+// in device-index order — the shared heap assigns sequence numbers here, on
+// one goroutine, which is what makes the global event order worker-count
+// invariant — then re-prices each device's heap key.
+func (e *Engine) mergeBatch() {
+	for k := 0; k < e.bn; k++ {
+		i := e.batch[k]
+		e.out[i].drainInto(e.shared)
+		e.updateKey(i)
+	}
+}
+
+// flushDirty re-prices every device whose local queue changed during the
+// serial phase.
+func (e *Engine) flushDirty() {
+	for k := 0; k < e.dn; k++ {
+		i := e.dirty[k]
+		e.dirtyMark[i] = false
+		e.updateKey(i)
+	}
+	e.dn = 0
+}
+
+// updateKey refreshes device i's heap key from its actor, inserting,
+// moving or removing it as needed.
+func (e *Engine) updateKey(i int) {
+	t, ok := e.actors[i].NextEventTime()
+	if !ok {
+		if e.pos[i] >= 0 {
+			e.removeAt(e.pos[i])
+		}
+		return
+	}
+	e.keys[i] = t
+	if e.pos[i] >= 0 {
+		e.fix(e.pos[i])
+	} else {
+		e.push(i)
+	}
+}
+
+// less orders heap entries by (next event time, device index): the tie-break
+// that pins simultaneous device events to a canonical order.
+func (e *Engine) less(a, b int) bool {
+	if e.keys[a] != e.keys[b] {
+		return e.keys[a] < e.keys[b]
+	}
+	return a < b
+}
+
+func (e *Engine) push(i int) {
+	j := len(e.heap)
+	e.heap = e.heap[:j+1] // cap preallocated to N in init; fleet size is fixed
+	e.heap[j] = i
+	e.pos[i] = j
+	e.siftUp(j)
+}
+
+func (e *Engine) removeTop() { e.removeAt(0) }
+
+func (e *Engine) removeAt(j int) {
+	n := len(e.heap) - 1
+	e.pos[e.heap[j]] = -1
+	if j != n {
+		e.heap[j] = e.heap[n]
+		e.pos[e.heap[j]] = j
+	}
+	e.heap = e.heap[:n]
+	if j < n {
+		e.fix(j)
+	}
+}
+
+func (e *Engine) fix(j int) {
+	if !e.siftDown(j) {
+		e.siftUp(j)
+	}
+}
+
+func (e *Engine) siftUp(j int) {
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !e.less(e.heap[j], e.heap[parent]) {
+			break
+		}
+		e.swap(j, parent)
+		j = parent
+	}
+}
+
+func (e *Engine) siftDown(j int) bool {
+	moved := false
+	n := len(e.heap)
+	for {
+		left := 2*j + 1
+		if left >= n {
+			return moved
+		}
+		small := left
+		if right := left + 1; right < n && e.less(e.heap[right], e.heap[left]) {
+			small = right
+		}
+		if !e.less(e.heap[small], e.heap[j]) {
+			return moved
+		}
+		e.swap(j, small)
+		j = small
+		moved = true
+	}
+}
+
+func (e *Engine) swap(a, b int) {
+	e.heap[a], e.heap[b] = e.heap[b], e.heap[a]
+	e.pos[e.heap[a]] = a
+	e.pos[e.heap[b]] = b
+}

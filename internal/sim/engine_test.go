@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// tickActor is a synthetic fleet device: it ticks on a fixed grid, emits a
+// shared-timeline event every emitEvery ticks (halting per the emission
+// contract), and each shared callback echoes a local event back onto the
+// device's private scheduler — exercising the waker/dirty path that revives
+// a device from the serial phase.
+type tickActor struct {
+	idx       int
+	sched     *Scheduler
+	out       *Outbox
+	next      float64
+	step      float64
+	remaining int
+	tick      int
+	emitEvery int
+
+	localEchoes int
+	trace       *[]string // appended only from serial-phase callbacks
+}
+
+func (a *tickActor) NextEventTime() (float64, bool) {
+	lt, lok := a.sched.NextTime()
+	if a.remaining > 0 && (!lok || a.next <= lt) {
+		return a.next, true
+	}
+	if lok {
+		return lt, true
+	}
+	return 0, false
+}
+
+func (a *tickActor) AdvanceTo(limit float64) {
+	for {
+		lt, lok := a.sched.NextTime()
+		if a.remaining > 0 && a.next < limit && (!lok || a.next <= lt) {
+			t := a.next
+			a.sched.AdvanceTo(t)
+			a.tick++
+			a.remaining--
+			a.next += a.step
+			if a.emitEvery > 0 && a.tick%a.emitEvery == 0 {
+				tick := a.tick
+				a.out.At(t+0.5, func(now float64) {
+					*a.trace = append(*a.trace, fmt.Sprintf("%.3f dev%d tick%d", now, a.idx, tick))
+					// Echo a device-local event: posted from the serial
+					// phase, it must wake the device through MarkDirty.
+					a.sched.At(now+0.25, func(float64) { a.localEchoes++ })
+				})
+				return // emission-halt
+			}
+			continue
+		}
+		if !lok || lt >= limit {
+			return
+		}
+		a.sched.AdvanceTo(lt)
+	}
+}
+
+type engineRun struct {
+	trace  []string
+	ticks  []int
+	echoes []int
+	epochs int64
+	shared int64
+}
+
+func runTickFleet(t *testing.T, n, workers int, end float64) engineRun {
+	t.Helper()
+	shared := NewScheduler()
+	eng := NewEngine(shared, workers)
+	var trace []string
+	actors := make([]*tickActor, n)
+	for i := 0; i < n; i++ {
+		a := &tickActor{
+			idx:       i,
+			sched:     NewScheduler(),
+			out:       &Outbox{},
+			next:      0.1 * float64(i%3),
+			step:      0.5 + 0.1*float64(i%4),
+			remaining: 40 + i%7,
+			emitEvery: 3 + i%3,
+			trace:     &trace,
+		}
+		idx := eng.Add(a, a.out)
+		if idx != i {
+			t.Fatalf("Add returned %d, want %d", idx, i)
+		}
+		a.sched.SetWaker(func() { eng.MarkDirty(idx) })
+		actors[i] = a
+	}
+	if err := eng.Run(context.Background(), end); err != nil {
+		t.Fatal(err)
+	}
+	run := engineRun{trace: trace, epochs: eng.Epochs(), shared: shared.Executed()}
+	for _, a := range actors {
+		run.ticks = append(run.ticks, a.tick)
+		run.echoes = append(run.echoes, a.localEchoes)
+	}
+	return run
+}
+
+// TestEngineWorkerCountInvariant is the engine's core contract: the global
+// event trace, per-device progress and epoch count must be identical at any
+// worker count.
+func TestEngineWorkerCountInvariant(t *testing.T) {
+	base := runTickFleet(t, 17, 1, 30)
+	if len(base.trace) == 0 {
+		t.Fatal("fleet emitted no shared events — the run proved nothing")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := runTickFleet(t, 17, workers, 30)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d diverged from workers=1:\nbase %+v\ngot  %+v", workers, base, got)
+		}
+	}
+}
+
+// TestEngineRunsAllWork checks completeness: every tick strictly before end
+// happens, every emission lands, and every serial echo revives its device.
+func TestEngineRunsAllWork(t *testing.T) {
+	run := runTickFleet(t, 5, 1, 1e9) // effectively unbounded
+	wantEmits := 0
+	for i := 0; i < 5; i++ {
+		total := 40 + i%7
+		if run.ticks[i] != total {
+			t.Errorf("dev%d ran %d ticks, want %d", i, run.ticks[i], total)
+		}
+		emits := total / (3 + i%3)
+		wantEmits += emits
+		if run.echoes[i] != emits {
+			t.Errorf("dev%d got %d local echoes, want %d", i, run.echoes[i], emits)
+		}
+	}
+	if len(run.trace) != wantEmits {
+		t.Errorf("shared trace has %d events, want %d", len(run.trace), wantEmits)
+	}
+}
+
+// TestEngineEndCap checks the horizon semantics: device work strictly
+// before end runs, shared events at exactly end run, later ones don't.
+func TestEngineEndCap(t *testing.T) {
+	shared := NewScheduler()
+	eng := NewEngine(shared, 1)
+	var fired []float64
+	a := &tickActor{sched: NewScheduler(), out: &Outbox{}, next: 0, step: 1, remaining: 100}
+	idx := eng.Add(a, a.out)
+	a.sched.SetWaker(func() { eng.MarkDirty(idx) })
+	for _, at := range []float64{2.5, 5.0, 5.5} {
+		at := at
+		shared.At(at, func(now float64) { fired = append(fired, now) })
+	}
+	if err := eng.Run(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if a.tick != 5 { // ticks at 0,1,2,3,4 — strictly before end
+		t.Errorf("device ran %d ticks, want 5", a.tick)
+	}
+	if want := []float64{2.5, 5.0}; !reflect.DeepEqual(fired, want) {
+		t.Errorf("shared events fired at %v, want %v", fired, want)
+	}
+}
+
+// TestEngineContextCancel checks that a cancelled context stops the run.
+func TestEngineContextCancel(t *testing.T) {
+	shared := NewScheduler()
+	eng := NewEngine(shared, 1)
+	a := &tickActor{sched: NewScheduler(), out: &Outbox{}, next: 0, step: 1, remaining: 1000}
+	eng.Add(a, a.out)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := eng.Run(ctx, 1e9); err == nil {
+		t.Fatal("cancelled context did not abort the run")
+	}
+}
+
+// TestSchedulerNextTimeAndExecuted covers the scheduler additions the
+// engine depends on.
+func TestSchedulerNextTimeAndExecuted(t *testing.T) {
+	s := NewScheduler()
+	if _, ok := s.NextTime(); ok {
+		t.Fatal("empty scheduler reported a next event")
+	}
+	wakes := 0
+	s.SetWaker(func() { wakes++ })
+	s.At(3, func(float64) {})
+	s.At(1, func(float64) {})
+	if wakes != 2 {
+		t.Fatalf("waker fired %d times, want 2", wakes)
+	}
+	if next, ok := s.NextTime(); !ok || next != 1 {
+		t.Fatalf("NextTime = %v, %v; want 1, true", next, ok)
+	}
+	s.AdvanceTo(2)
+	if s.Executed() != 1 {
+		t.Fatalf("Executed = %d, want 1", s.Executed())
+	}
+	if next, ok := s.NextTime(); !ok || next != 3 {
+		t.Fatalf("NextTime = %v, %v; want 3, true", next, ok)
+	}
+}

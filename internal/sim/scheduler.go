@@ -27,11 +27,22 @@ func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 func (h eventHeap) Peek() event   { return h[0] }
 
+// Timeline is the minimal scheduling surface a subsystem needs to post
+// future work: "call fn at virtual time t". A *Scheduler implements it
+// directly; the fleet Engine substitutes per-device Outboxes so that work
+// emitted inside a parallel shard is merged deterministically instead of
+// touching the shared heap from many goroutines.
+type Timeline interface {
+	At(t float64, fn func(now float64))
+}
+
 // Scheduler executes events in virtual-time order.
 type Scheduler struct {
-	now  float64
-	seq  int64
-	heap eventHeap
+	now      float64
+	seq      int64
+	heap     eventHeap
+	executed int64
+	waker    func()
 }
 
 // NewScheduler creates a scheduler starting at time 0.
@@ -48,6 +59,9 @@ func (s *Scheduler) At(t float64, fn func(now float64)) {
 	}
 	s.seq++
 	heap.Push(&s.heap, event{at: t, seq: s.seq, fn: fn})
+	if s.waker != nil {
+		s.waker()
+	}
 }
 
 // After schedules fn to run delay seconds from now.
@@ -64,6 +78,7 @@ func (s *Scheduler) AdvanceTo(t float64) {
 	for len(s.heap) > 0 && s.heap.Peek().at <= t {
 		e := heap.Pop(&s.heap).(event)
 		s.now = e.at
+		s.executed++
 		e.fn(s.now)
 	}
 	if t > s.now {
@@ -73,3 +88,22 @@ func (s *Scheduler) AdvanceTo(t float64) {
 
 // Pending returns the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// NextTime reports the virtual time of the earliest queued event; ok is
+// false when the queue is empty.
+func (s *Scheduler) NextTime() (t float64, ok bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap.Peek().at, true
+}
+
+// Executed returns the number of events this scheduler has run so far —
+// the raw count behind the fleet engine's events/sec figure.
+func (s *Scheduler) Executed() int64 { return s.executed }
+
+// SetWaker registers fn to be invoked on every At (including clamped
+// past-time posts). The fleet Engine uses it to learn that a callback
+// executing on the shared timeline scheduled fresh device-local work, so
+// only dirtied devices need their queue keys recomputed.
+func (s *Scheduler) SetWaker(fn func()) { s.waker = fn }

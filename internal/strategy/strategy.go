@@ -46,6 +46,10 @@ func WithSeed(seed uint64) Option { return func(c *core.Config) { c.Seed = seed 
 // WithFixedRate pins the sampling rate (disables the adaptive controller).
 func WithFixedRate(fps float64) Option { return func(c *core.Config) { c.SampleRate = fps } }
 
+// WithFidelity selects the run's simulation fidelity (core.FidelityFull or
+// core.FidelityEvents).
+func WithFidelity(f core.Fidelity) Option { return func(c *core.Config) { c.Fidelity = f } }
+
 // WithCycles sets the duration to n passes of the profile's scenario script.
 func WithCycles(n float64) Option {
 	return func(c *core.Config) { c.DurationSec = n * c.Profile.ScriptDuration() }

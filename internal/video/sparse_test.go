@@ -1,0 +1,106 @@
+package video
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSparseStreamRandomAccess locks the sparse stream's core contract:
+// a frame is a pure function of (profile, seed, index) — identical across
+// stream instances and independent of generation order.
+func TestSparseStreamRandomAccess(t *testing.T) {
+	p := DETRACProfile()
+	dt := 1 / p.FPS
+	a := NewSparseStream(p, 7)
+	b := NewSparseStream(p, 7)
+
+	// b generates out of order and interleaved with unrelated frames.
+	fb200 := b.Frame(200, 200*dt)
+	b.Frame(5000, 5000*dt)
+	fb10 := b.Frame(10, 10*dt)
+
+	if fa := a.Frame(10, 10*dt); !reflect.DeepEqual(fa, fb10) {
+		t.Error("frame 10 differs between in-order and out-of-order generation")
+	}
+	if fa := a.Frame(200, 200*dt); !reflect.DeepEqual(fa, fb200) {
+		t.Error("frame 200 differs between stream instances")
+	}
+
+	other := NewSparseStream(p, 8)
+	if reflect.DeepEqual(a.Frame(10, 10*dt), other.Frame(10, 10*dt)) {
+		t.Error("different seeds produced an identical frame")
+	}
+}
+
+// TestSparseStreamShape checks the frame invariants consumers rely on:
+// ground truth on the first NumGT proposals, clutter after, no feature
+// tensors anywhere, and plausible geometry.
+func TestSparseStreamShape(t *testing.T) {
+	p := DETRACProfile()
+	s := NewSparseStream(p, 3)
+	dt := 1 / p.FPS
+	for _, idx := range []int{0, 100, 3000, 50000} {
+		f := s.Frame(idx, float64(idx)*dt)
+		if f.Index != idx {
+			t.Fatalf("frame index %d, want %d", f.Index, idx)
+		}
+		if f.NumGT <= 0 || f.NumGT > len(f.Proposals) {
+			t.Fatalf("frame %d: NumGT %d outside (0, %d]", idx, f.NumGT, len(f.Proposals))
+		}
+		if f.Complexity <= 0 {
+			t.Errorf("frame %d: non-positive complexity", idx)
+		}
+		for i, pr := range f.Proposals {
+			if pr.Features != nil {
+				t.Fatalf("frame %d proposal %d carries features — sparse frames must not", idx, i)
+			}
+			if gt := pr.GT; (i < f.NumGT) != (gt != nil) {
+				t.Fatalf("frame %d proposal %d: GT presence does not match NumGT layout", idx, i)
+			}
+			if pr.GT != nil {
+				if pr.GT.Class < 0 || pr.GT.Class >= p.NumClasses() {
+					t.Fatalf("frame %d proposal %d: class %d out of range", idx, i, pr.GT.Class)
+				}
+				if !pr.GT.Box.Valid() {
+					t.Fatalf("frame %d proposal %d: invalid GT box", idx, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSparseStreamTemporalCoherence checks that tracks persist: two frames
+// a fraction of a second apart share most object track ids (the teacher's
+// correlated-error model and φ both depend on identity persisting), while
+// frames far apart share none.
+func TestSparseStreamTemporalCoherence(t *testing.T) {
+	p := DETRACProfile()
+	s := NewSparseStream(p, 11)
+	dt := 1 / p.FPS
+	ids := func(f *Frame) map[int]bool {
+		m := make(map[int]bool)
+		for _, pr := range f.Proposals {
+			if pr.GT != nil {
+				m[pr.TrackID] = true
+			}
+		}
+		return m
+	}
+	a := ids(s.Frame(1000, 1000*dt))
+	b := ids(s.Frame(1010, 1010*dt)) // ~0.33 s later
+	shared := 0
+	for id := range b {
+		if a[id] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("no track survived 10 frames — population churns every frame")
+	}
+	far := ids(s.Frame(100000, 100000*dt))
+	for id := range far {
+		if a[id] {
+			t.Errorf("track %d alive both at frame 1000 and frame 100000 — epochs never turn over", id)
+		}
+	}
+}

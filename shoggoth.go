@@ -50,6 +50,21 @@ const (
 	Shoggoth  = core.Shoggoth
 )
 
+// Fidelity selects how much of the system a run simulates. FidelityFull
+// (the default, also the zero value "") runs real student SGD and
+// materializes every frame — the golden-results path. FidelityEvents is
+// the fleet-scale mode: frames are materialized sparsely (only when
+// sampled for upload), no student network is deployed and training is
+// priced but not executed, so a Cluster can carry 100k devices through the
+// event engine. Results of the two fidelities are not comparable.
+type Fidelity = core.Fidelity
+
+// Simulation fidelities (Config.Fidelity).
+const (
+	FidelityFull   = core.FidelityFull
+	FidelityEvents = core.FidelityEvents
+)
+
 // Stock dataset profile names.
 const (
 	ProfileDETRAC = video.ProfileDETRAC
@@ -178,4 +193,7 @@ var (
 	WithFixedRate = strategy.WithFixedRate
 	// WithCycles sets the duration in scenario-script passes.
 	WithCycles = strategy.WithCycles
+	// WithFidelity selects the simulation fidelity (FidelityFull or
+	// FidelityEvents).
+	WithFidelity = strategy.WithFidelity
 )
