@@ -10,9 +10,13 @@ import (
 	"shoggoth/internal/sim"
 )
 
-// CloudStats summarises a shared labeling service's queue behaviour:
-// batches served and dropped, queueing delay, teacher busy time.
-type CloudStats = cloud.QueueStats
+// CloudStats summarises the shared cloud tier's behaviour: batches served
+// and dropped, queueing delay, teacher busy time, plus the tier-level
+// routing detail — per-replica queue statistics, admission-control
+// rejections, coalesced teacher forwards, per-SLO-class label latency and
+// the Jain fairness index across devices. A 1-replica tier reports the
+// same embedded aggregate a bare service used to.
+type CloudStats = cloud.TierStats
 
 // EngineInfo reports the event engine's aggregate work. Both counters are
 // part of the determinism contract: they are invariant across
@@ -94,10 +98,32 @@ type Cluster struct {
 	// policy registered via cloud.RegisterPolicy). Empty means FIFO, the
 	// frozen default that serves in arrival order.
 	Policy string
-	// Workers is the teacher pipeline pool size of the shared service: how
-	// many batches the cloud labels concurrently in virtual time. 0 means
-	// 1.
+	// Workers is the teacher pipeline pool size of each replica: how many
+	// batches a replica labels concurrently in virtual time. 0 means 1.
 	Workers int
+	// Replicas is the number of teacher replicas in the shared cloud tier.
+	// 0 or 1 means a single replica — behaviourally the classic one-service
+	// cloud.
+	Replicas int
+	// Router names the replica router dispatching uploaded batches across
+	// the tier ("round-robin", "least-loaded", "domain-affinity", or any
+	// router registered via cloud.RegisterRouter). Empty means round-robin,
+	// the frozen default.
+	Router string
+	// AdmitRate, when positive, enables token-bucket admission control in
+	// front of the tier: the sustained batch admission rate per virtual
+	// second. Rejected batches are dropped (and counted) before routing.
+	AdmitRate float64
+	// AdmitBurst is the token bucket's burst capacity in batches (values
+	// below 1 are clamped to 1). Meaningful only with AdmitRate > 0.
+	AdmitBurst float64
+	// Coalesce, when >= 2, lets each replica coalesce up to this many
+	// compatible pending batches into one priced teacher forward
+	// (cross-device teacher batching).
+	Coalesce int
+	// ColdStartSec prices the first batch of a video domain on each replica
+	// (domain-affinity's cold-start penalty). 0 disables it.
+	ColdStartSec float64
 	// Engine selects the execution core: "" or EngineEvent runs the
 	// discrete-event engine, EngineFrameStep the legacy stepper (which
 	// cannot model shared uplink cells and rejects configs carrying one).
@@ -137,8 +163,23 @@ func (c *Cluster) Run(ctx context.Context, cfgs []Config) (*ClusterResults, erro
 	if err := cloud.ValidatePolicy(c.Policy); err != nil {
 		return nil, err
 	}
+	if err := cloud.ValidateRouter(c.Router); err != nil {
+		return nil, err
+	}
 	if c.Workers < 0 {
 		return nil, fmt.Errorf("shoggoth: negative cluster worker count %d", c.Workers)
+	}
+	if c.Replicas < 0 {
+		return nil, fmt.Errorf("shoggoth: negative cluster replica count %d", c.Replicas)
+	}
+	if c.AdmitRate < 0 || c.AdmitBurst < 0 {
+		return nil, fmt.Errorf("shoggoth: negative cluster admission rate/burst (%g, %g)", c.AdmitRate, c.AdmitBurst)
+	}
+	if c.Coalesce < 0 {
+		return nil, fmt.Errorf("shoggoth: negative cluster coalesce bound %d", c.Coalesce)
+	}
+	if c.ColdStartSec < 0 {
+		return nil, fmt.Errorf("shoggoth: negative cluster cold-start penalty %g", c.ColdStartSec)
 	}
 	if c.EngineWorkers < 0 {
 		return nil, fmt.Errorf("shoggoth: negative engine worker count %d", c.EngineWorkers)
@@ -154,6 +195,26 @@ func (c *Cluster) Run(ctx context.Context, cfgs []Config) (*ClusterResults, erro
 		return c.runFrameStep(ctx, cfgs, cache)
 	default:
 		return nil, fmt.Errorf("shoggoth: unknown cluster engine %q (want %q or %q)", c.Engine, EngineEvent, EngineFrameStep)
+	}
+}
+
+// tierConfig assembles the shared cloud tier's configuration. When every
+// cluster-level cloud knob is zero the first device config speaks for the
+// fleet (scenario files stamp cloud specs into each device config), which
+// keeps a 1-device Cluster bit-identical to a Session of the same config.
+// Any explicitly-set cluster knob switches to the cluster fields wholesale.
+func (c *Cluster) tierConfig(cfgs []Config) cloud.TierConfig {
+	if c.QueueCap == 0 && c.Policy == "" && c.Workers == 0 && c.Replicas == 0 &&
+		c.Router == "" && c.AdmitRate == 0 && c.AdmitBurst == 0 && c.Coalesce == 0 && c.ColdStartSec == 0 {
+		return cfgs[0].CloudTierConfig()
+	}
+	return cloud.TierConfig{
+		Replicas:        c.Replicas,
+		Router:          c.Router,
+		Service:         cloud.ServiceConfig{QueueCap: c.QueueCap, Policy: c.Policy, Workers: c.Workers, Coalesce: c.Coalesce},
+		AdmitRatePerSec: c.AdmitRate,
+		AdmitBurst:      c.AdmitBurst,
+		ColdStartSec:    c.ColdStartSec,
 	}
 }
 
@@ -176,8 +237,8 @@ func (u *cellUplink) Send(bytes int, start float64, deliver func(now float64)) {
 // (time, device index, seq) order.
 func (c *Cluster) runEvents(ctx context.Context, cfgs []Config, cache *StudentCache) (*ClusterResults, error) {
 	shared := sim.NewScheduler()
-	svc := cloud.NewService(cloud.ServiceConfig{QueueCap: c.QueueCap, Policy: c.Policy, Workers: c.Workers})
-	svc.Bind(shared)
+	tier := cloud.NewTier(c.tierConfig(cfgs))
+	tier.Bind(shared)
 	eng := sim.NewEngine(shared, c.EngineWorkers)
 
 	mediums := make(map[int]*netsim.SharedMedium)
@@ -212,7 +273,7 @@ func (c *Cluster) runEvents(ctx context.Context, cfgs []Config, cache *StudentCa
 			}
 			uplink = &cellUplink{medium: m, out: out}
 		}
-		sys, err := core.NewSystemOpts(cfg, core.SystemOptions{Scheduler: local, Cloud: svc, Shared: out, Uplink: uplink})
+		sys, err := core.NewSystemOpts(cfg, core.SystemOptions{Scheduler: local, Cloud: tier, Shared: out, Uplink: uplink})
 		if err != nil {
 			return nil, fmt.Errorf("shoggoth: cluster device %d: %w", i, err)
 		}
@@ -236,7 +297,7 @@ func (c *Cluster) runEvents(ctx context.Context, cfgs []Config, cache *StudentCa
 	}
 	info.Events += shared.Executed()
 	out.Engine = info
-	out.Cloud = svc.Stats()
+	out.Cloud = tier.TierStats()
 	return out, nil
 }
 
@@ -248,8 +309,8 @@ func (c *Cluster) runEvents(ctx context.Context, cfgs []Config, cache *StudentCa
 // event engine is checked against.
 func (c *Cluster) runFrameStep(ctx context.Context, cfgs []Config, cache *StudentCache) (*ClusterResults, error) {
 	sched := sim.NewScheduler()
-	svc := cloud.NewService(cloud.ServiceConfig{QueueCap: c.QueueCap, Policy: c.Policy, Workers: c.Workers})
-	svc.Bind(sched)
+	tier := cloud.NewTier(c.tierConfig(cfgs))
+	tier.Bind(sched)
 	sessions := make([]*core.System, len(cfgs))
 	for i, cfg := range cfgs {
 		if err := ctx.Err(); err != nil {
@@ -261,7 +322,7 @@ func (c *Cluster) runFrameStep(ctx context.Context, cfgs []Config, cache *Studen
 		if cfg.Fidelity != core.FidelityEvents {
 			defaultPretrained(&cfg, cache)
 		}
-		sys, err := core.NewSystemOpts(cfg, core.SystemOptions{Scheduler: sched, Cloud: svc})
+		sys, err := core.NewSystemOpts(cfg, core.SystemOptions{Scheduler: sched, Cloud: tier})
 		if err != nil {
 			return nil, fmt.Errorf("shoggoth: cluster device %d: %w", i, err)
 		}
@@ -293,6 +354,6 @@ func (c *Cluster) runFrameStep(ctx context.Context, cfgs []Config, cache *Studen
 			c.Perf.Add(sys.Workspace().Perf)
 		}
 	}
-	out.Cloud = svc.Stats()
+	out.Cloud = tier.TierStats()
 	return out, nil
 }

@@ -388,15 +388,15 @@ func TestClusterUtilizationSemantics(t *testing.T) {
 	}
 	zeroDur := &shoggoth.ClusterResults{
 		Devices: []*shoggoth.Results{{Duration: 0}},
-		Cloud:   shoggoth.CloudStats{BusySeconds: 3},
 	}
+	zeroDur.Cloud.BusySeconds = 3 // promoted from the embedded aggregate
 	if u := zeroDur.Utilization(); u != 0 {
 		t.Fatalf("zero-duration run utilization = %v, want 0 (guard, not NaN/Inf)", u)
 	}
 	overloaded := &shoggoth.ClusterResults{
 		Devices: []*shoggoth.Results{{Duration: 100}, {Duration: 80}},
-		Cloud:   shoggoth.CloudStats{BusySeconds: 150},
 	}
+	overloaded.Cloud.BusySeconds = 150
 	if u := overloaded.Utilization(); u != 1.5 {
 		t.Fatalf("overloaded run utilization = %v, want 1.5 (>1 = backlog past the horizon)", u)
 	}

@@ -5,7 +5,7 @@
 //
 //	shoggoth-bench                 # all experiments, quick mode (1 cycle)
 //	shoggoth-bench -full           # paper-scale mode (2 cycles)
-//	shoggoth-bench -exp table3     # one experiment: table1 fig4 table2 table3 fig5 extra policy scenario
+//	shoggoth-bench -exp table3     # one experiment: table1 fig4 table2 table3 fig5 extra policy router scenario
 //	shoggoth-bench -perf           # compute-core perf mode: refresh BENCH_core.json
 package main
 
@@ -24,7 +24,7 @@ func main() {
 	log.SetPrefix("shoggoth-bench: ")
 
 	full := flag.Bool("full", false, "paper-scale runs (two scenario cycles per run)")
-	exp := flag.String("exp", "all", "experiment: table1, fig4, table2, table3, fig5, extra, policy, scenario or all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, table2, table3, fig5, extra, policy, router, scenario or all")
 	seed := flag.Uint64("seed", 1, "run seed")
 	workers := flag.Int("workers", 0, "concurrent sessions per experiment (0 = GOMAXPROCS)")
 	perf := flag.Bool("perf", false, "measure the compute-core hot paths (train step, inference) instead of the paper experiments")
@@ -114,6 +114,15 @@ func main() {
 		}
 		fmt.Println(pa.Render())
 		fmt.Printf("(policy took %.0fs)\n\n", time.Since(start).Seconds())
+	}
+	if run("router") {
+		start := time.Now()
+		ra, err := experiments.RouterAblation(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ra.Render())
+		fmt.Printf("(router took %.0fs)\n\n", time.Since(start).Seconds())
 	}
 	if run("scenario") {
 		start := time.Now()

@@ -36,6 +36,26 @@ type PerfRecord struct {
 	CloudSchedWFQNsPerBatch  float64 `json:"cloud_sched_wfq_ns_per_batch,omitempty"`
 }
 
+// CloudTierPerf measures the multi-replica routing tier: the wall-clock
+// cost of one routed batch per stock router on a contended 3-replica tier,
+// and the modeled teacher throughput with cross-device batching on vs off
+// (same replica count, so the delta is coalescing alone).
+type CloudTierPerf struct {
+	// RouterNsPerDispatch is the cost of one 4-frame batch through
+	// admission, routing and labeling, keyed by router name.
+	RouterNsPerDispatch map[string]float64 `json:"router_ns_per_dispatch"`
+	// UnbatchedBatchesPerBusySec is modeled teacher throughput (batches
+	// served per teacher-busy second) with coalescing off.
+	UnbatchedBatchesPerBusySec float64 `json:"unbatched_batches_per_busy_sec"`
+	// BatchedBatchesPerBusySec is the same with 4-way coalescing.
+	BatchedBatchesPerBusySec float64 `json:"batched_batches_per_busy_sec"`
+	// BatchingSpeedup is batched over unbatched throughput.
+	BatchingSpeedup float64 `json:"batching_speedup"`
+	// CoalescedForwards counts multi-batch teacher forwards in the batched
+	// measurement (a zero here means coalescing never engaged).
+	CoalescedForwards int `json:"coalesced_forwards"`
+}
+
 // PerfFile is the on-disk schema of BENCH_core.json: the frozen pre-refactor
 // baseline plus the most recent measurement, so every future PR has a perf
 // trajectory to compare against.
@@ -55,6 +75,10 @@ type PerfFile struct {
 	// stepper's at 10k devices.
 	Fleet           []FleetPerfRecord `json:"fleet,omitempty"`
 	SpeedupFleet10k float64           `json:"speedup_fleet_events_per_sec_10k,omitempty"`
+
+	// CloudTier is the routing-tier microbenchmark: per-router dispatch
+	// cost and batched-vs-unbatched modeled teacher throughput.
+	CloudTier *CloudTierPerf `json:"cloud_tier,omitempty"`
 }
 
 // measurePerf benchmarks the steady-state adaptive-training step and
@@ -150,6 +174,114 @@ func measureCloudSched(policy string) float64 {
 	return float64(res.NsPerOp())
 }
 
+// measureCloudTier benchmarks the routing tier: per-router dispatch cost on
+// a contended 3-replica tier, then modeled teacher throughput with 4-way
+// cross-device batching on vs off at an identical 1-replica configuration.
+func measureCloudTier() CloudTierPerf {
+	tier := CloudTierPerf{RouterNsPerDispatch: make(map[string]float64)}
+	for _, router := range cloud.RouterNames() {
+		tier.RouterNsPerDispatch[router] = round2(measureTierRouting(router))
+	}
+	unbatched, _ := measureTierThroughput(0)
+	batched, forwards := measureTierThroughput(4)
+	tier.UnbatchedBatchesPerBusySec = round2(unbatched)
+	tier.BatchedBatchesPerBusySec = round2(batched)
+	tier.CoalescedForwards = forwards
+	if unbatched > 0 {
+		tier.BatchingSpeedup = round2(batched / unbatched)
+	}
+	return tier
+}
+
+// measureTierRouting is measureCloudSched across replicas: one 4-frame
+// batch through token-free admission, the named router's Pick over three
+// replica snapshots, worker assignment and teacher labeling, on a
+// contended 8-device tier.
+func measureTierRouting(router string) float64 {
+	p := video.DETRACProfile()
+	tier := cloud.NewTier(cloud.TierConfig{
+		Replicas: 3,
+		Router:   router,
+		Service:  cloud.ServiceConfig{QueueCap: 16, Workers: 2},
+	})
+	sched := sim.NewScheduler()
+	tier.Bind(sched)
+	const nDev = 8
+	devs := make([]*cloud.TierDevice, nDev)
+	for i := range devs {
+		teacher := detect.NewTeacher(p, rand.New(rand.NewPCG(11, uint64(i))))
+		d, err := tier.Register(fmt.Sprintf("bench-%d", i), teacher, cloud.DefaultLabelerConfig(), nil, cloud.DeviceOptions{})
+		if err != nil {
+			panic(err)
+		}
+		devs[i] = d
+	}
+	stream := video.NewStream(p, 5)
+	frames := make([]*video.Frame, 4)
+	for i := range frames {
+		frames[i] = stream.Next()
+	}
+
+	// Arrivals slightly above the 3-replica service rate keep every
+	// replica's queue non-trivial, so routers rank genuinely loaded
+	// snapshots.
+	now, i := 0.0, 0
+	res := testing.Benchmark(func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			now += 0.03
+			devs[i%nDev].Enqueue(frames, now, func(cloud.BatchResult) {})
+			i++
+			sched.AdvanceTo(now)
+		}
+	})
+	return float64(res.NsPerOp())
+}
+
+// measureTierThroughput runs 400 dense 4-frame batches through a 1-replica
+// FIFO tier and reports modeled teacher throughput — batches served per
+// teacher-busy second — plus the number of coalesced forwards. coalesce 0
+// is the unbatched reference; coalesce B prices each group's riders at the
+// marginal batching cost, which is exactly the throughput gain being
+// measured. Virtual-time, fully deterministic: no wall clock involved.
+func measureTierThroughput(coalesce int) (float64, int) {
+	p := video.DETRACProfile()
+	tier := cloud.NewTier(cloud.TierConfig{
+		Replicas: 1,
+		Service:  cloud.ServiceConfig{Policy: "fifo", Workers: 1, Coalesce: coalesce},
+	})
+	sched := sim.NewScheduler()
+	tier.Bind(sched)
+	const nDev = 8
+	devs := make([]*cloud.TierDevice, nDev)
+	for i := range devs {
+		teacher := detect.NewTeacher(p, rand.New(rand.NewPCG(13, uint64(i))))
+		d, err := tier.Register(fmt.Sprintf("tput-%d", i), teacher, cloud.DefaultLabelerConfig(), nil, cloud.DeviceOptions{})
+		if err != nil {
+			panic(err)
+		}
+		devs[i] = d
+	}
+	stream := video.NewStream(p, 5)
+	frames := make([]*video.Frame, 4)
+	for i := range frames {
+		frames[i] = stream.Next()
+	}
+
+	// All arrivals land before any service completes, so the pending queue
+	// stays deep enough for every coalesced group to fill to the bound.
+	now := 0.0
+	for n := 0; n < 400; n++ {
+		now += 0.0001
+		devs[n%nDev].Enqueue(frames, now, func(cloud.BatchResult) {})
+	}
+	sched.AdvanceTo(now + 1e6)
+	st := tier.TierStats()
+	if st.BusySeconds <= 0 {
+		return 0, st.CoalescedForwards
+	}
+	return float64(st.Batches) / st.BusySeconds, st.CoalescedForwards
+}
+
 // perfBatch synthesises labeled regions from the profile's pretrain
 // distribution, mirroring the fixture of the BenchmarkStep tests.
 func perfBatch(p *video.Profile, n int, rng *rand.Rand) []detect.LabeledRegion {
@@ -192,6 +324,8 @@ func runPerf(path string) error {
 	}
 	file.Fleet = fleet
 	file.SpeedupFleet10k = fleetSpeedup(fleet, 10_000)
+	ct := measureCloudTier()
+	file.CloudTier = &ct
 	if b := file.Baseline; b != nil {
 		if rec.TrainNsPerStep > 0 {
 			file.SpeedupTrainNsPerStep = round2(b.TrainNsPerStep / rec.TrainNsPerStep)
@@ -218,6 +352,9 @@ func runPerf(path string) error {
 		rec.InferNsPerFrame, rec.InferFramesPerSec, rec.InferAllocsPerOp)
 	fmt.Printf("perf: cloud scheduling %.0f ns/batch (fifo), %.0f ns/batch (wfq, contended dispatch)\n",
 		rec.CloudSchedFIFONsPerBatch, rec.CloudSchedWFQNsPerBatch)
+	fmt.Printf("perf: cloud tier routing rr=%.0f ll=%.0f da=%.0f ns/dispatch; teacher batching %.1f -> %.1f batches/busy-sec (%.2fx, %d coalesced forwards)\n",
+		ct.RouterNsPerDispatch["round-robin"], ct.RouterNsPerDispatch["least-loaded"], ct.RouterNsPerDispatch["domain-affinity"],
+		ct.UnbatchedBatchesPerBusySec, ct.BatchedBatchesPerBusySec, ct.BatchingSpeedup, ct.CoalescedForwards)
 	if file.Baseline != nil {
 		fmt.Printf("perf: vs baseline — train %.2fx ns/step, infer %.2fx ns/frame, %.0fx fewer train allocs\n",
 			file.SpeedupTrainNsPerStep, file.SpeedupInferNsPerOp, file.AllocReductionTrain)

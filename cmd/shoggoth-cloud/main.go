@@ -10,6 +10,7 @@ import (
 	"log"
 	"net/http"
 
+	"shoggoth/internal/cloud"
 	"shoggoth/internal/rpc"
 	"shoggoth/internal/video"
 )
@@ -21,17 +22,31 @@ func main() {
 	addr := flag.String("addr", ":8700", "listen address")
 	profileName := flag.String("profile", video.ProfileDETRAC, "dataset profile the edges stream")
 	seed := flag.Uint64("seed", 7, "teacher seed")
-	queueCap := flag.Int("queue-cap", 0, "labeling queue capacity in batches; overflow answers 429 (0 = unbounded)")
-	workers := flag.Int("workers", 1, "modeled teacher pipeline workers")
+	queueCap := flag.Int("queue-cap", 0, "per-replica labeling queue capacity in batches; overflow answers 429 (0 = unbounded)")
+	workers := flag.Int("workers", 1, "modeled teacher pipeline workers per replica")
+	replicas := flag.Int("replicas", 1, "teacher replicas in the routing tier")
+	router := flag.String("router", "", "replica router (round-robin, least-loaded, domain-affinity; empty = round-robin)")
+	admitRate := flag.Float64("admit-rate", 0, "token-bucket admission rate in requests/sec (0 = no admission control)")
+	admitBurst := flag.Float64("admit-burst", 0, "token-bucket burst capacity in requests (<1 clamps to 1)")
 	flag.Parse()
 
 	profile, err := video.ProfileByName(*profileName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := rpc.NewServerOpts(profile, *seed, rpc.ServerOptions{QueueCap: *queueCap, Workers: *workers})
-	log.Printf("serving %s labeling + rate control on %s (queue cap %d, %d workers)",
-		profile.Name, *addr, *queueCap, *workers)
+	if err := cloud.ValidateRouter(*router); err != nil {
+		log.Fatal(err)
+	}
+	srv := rpc.NewServerOpts(profile, *seed, rpc.ServerOptions{
+		QueueCap:        *queueCap,
+		Workers:         *workers,
+		Replicas:        *replicas,
+		Router:          *router,
+		AdmitRatePerSec: *admitRate,
+		AdmitBurst:      *admitBurst,
+	})
+	log.Printf("serving %s labeling + rate control on %s (%d replica(s), queue cap %d, %d workers)",
+		profile.Name, *addr, max(*replicas, 1), *queueCap, *workers)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}

@@ -33,6 +33,16 @@
 // the teacher pipeline pool:
 //
 //	shoggoth-sim -profile ua-detrac -devices 8 -queue-cap 4 -cloud-policy wfq -cloud-workers 2
+//
+// The cloud can also run as a multi-replica routing tier: -cloud-replicas
+// sizes the teacher fleet, -cloud-router picks the dispatch rule
+// (round-robin, least-loaded, domain-affinity), -cloud-admit-rate/-burst
+// put a token bucket in front, -cloud-coalesce batches compatible uploads
+// across devices into one teacher forward, and -cloud-cold-start prices a
+// domain's first batch on each replica:
+//
+//	shoggoth-sim -scenario multi-cloud -strategy shoggoth
+//	shoggoth-sim -devices 8 -cloud-replicas 3 -cloud-router least-loaded -cloud-coalesce 4
 package main
 
 import (
@@ -42,6 +52,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"shoggoth"
@@ -61,10 +72,17 @@ func main() {
 	rate := flag.Float64("rate", 0, "fixed sampling rate in fps (0 = strategy default)")
 	workers := flag.Int("workers", 0, "concurrent sessions for -strategy all (0 = GOMAXPROCS)")
 	devices := flag.Int("devices", 0, "edge devices sharing one cloud labeling service (cluster mode when > 1; 0 = the scenario's natural size)")
-	queueCap := flag.Int("queue-cap", 0, "cloud labeling queue capacity in batches (0 = unbounded)")
+	queueCap := flag.Int("queue-cap", 0, "cloud labeling queue capacity in batches per replica (0 = unbounded)")
 	cloudPolicy := flag.String("cloud-policy", "fifo",
 		"cloud scheduling policy: "+strings.Join(shoggoth.CloudPolicies(), ", "))
-	cloudWorkers := flag.Int("cloud-workers", 1, "cloud teacher pipeline workers (concurrent label batches)")
+	cloudWorkers := flag.Int("cloud-workers", 1, "cloud teacher pipeline workers per replica (concurrent label batches)")
+	cloudReplicas := flag.Int("cloud-replicas", 1, "teacher replicas in the cloud routing tier")
+	cloudRouter := flag.String("cloud-router", "",
+		"cloud replica router: "+strings.Join(shoggoth.CloudRouters(), ", ")+" (empty = round-robin)")
+	cloudAdmitRate := flag.Float64("cloud-admit-rate", 0, "token-bucket admission rate in batches/sec (0 = no admission control)")
+	cloudAdmitBurst := flag.Float64("cloud-admit-burst", 0, "token-bucket burst capacity in batches (<1 clamps to 1)")
+	cloudCoalesce := flag.Int("cloud-coalesce", 0, "coalesce up to this many compatible batches per teacher forward (cross-device batching; <2 = off)")
+	cloudColdStart := flag.Float64("cloud-cold-start", 0, "cold-start penalty in seconds for a domain's first batch on a replica")
 	fidelity := flag.String("fidelity", "full", "simulation fidelity: full (real models, golden-identical) or events (sparse fleet-scale mode)")
 	engine := flag.String("engine", shoggoth.EngineEvent, "cluster execution core: event (discrete-event engine) or frame-step (legacy stepper)")
 	engineWorkers := flag.Int("engine-workers", 0, "event-engine device-batch workers (wall-clock only; results are identical at any value; 0 = 1)")
@@ -76,6 +94,43 @@ func main() {
 	if *list {
 		printRegistries()
 		return
+	}
+
+	// Scenario files stamp cloud specs into every device config; a flag the
+	// user actually typed overrides the spec, but a flag left at its default
+	// must not clobber it.
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	applyCloudFlags := func(cfgs []shoggoth.Config) {
+		for i := range cfgs {
+			if explicit["queue-cap"] {
+				cfgs[i].CloudQueueCap = *queueCap
+			}
+			if explicit["cloud-policy"] {
+				cfgs[i].CloudPolicy = *cloudPolicy
+			}
+			if explicit["cloud-workers"] {
+				cfgs[i].CloudWorkers = *cloudWorkers
+			}
+			if explicit["cloud-replicas"] {
+				cfgs[i].CloudReplicas = *cloudReplicas
+			}
+			if explicit["cloud-router"] {
+				cfgs[i].CloudRouter = *cloudRouter
+			}
+			if explicit["cloud-admit-rate"] {
+				cfgs[i].CloudAdmitRate = *cloudAdmitRate
+			}
+			if explicit["cloud-admit-burst"] {
+				cfgs[i].CloudAdmitBurst = *cloudAdmitBurst
+			}
+			if explicit["cloud-coalesce"] {
+				cfgs[i].CloudCoalesce = *cloudCoalesce
+			}
+			if explicit["cloud-cold-start"] {
+				cfgs[i].CloudColdStartSec = *cloudColdStart
+			}
+		}
 	}
 
 	kinds, err := parseStrategies(*strategyName)
@@ -114,16 +169,13 @@ func main() {
 			log.Fatal(err)
 		}
 		header := fmt.Sprintf("scenario=%s strategy=%s", scen.Name, kinds[0])
+		applyCloudFlags(cfgs)
 		if len(cfgs) == 1 {
-			cfgs[0].CloudQueueCap = *queueCap
-			cfgs[0].CloudPolicy = *cloudPolicy
-			cfgs[0].CloudWorkers = *cloudWorkers
 			runFleet(cfgs, *workers, *asJSON, *verbose, header, *seed)
 			return
 		}
 		runCluster(cfgs, clusterParams{
-			queueCap: *queueCap, policy: *cloudPolicy, workers: *cloudWorkers, seed: *seed,
-			engine: *engine, engineWorkers: *engineWorkers,
+			seed: *seed, engine: *engine, engineWorkers: *engineWorkers,
 		}, *asJSON, *verbose, header)
 		return
 	}
@@ -142,20 +194,16 @@ func main() {
 			cfgs[i] = shoggoth.NewConfig(kinds[0], profile, baseOpts(*seed+uint64(i))...)
 			cfgs[i].DeviceID = fmt.Sprintf("edge-%d", i+1)
 		}
+		applyCloudFlags(cfgs)
 		header := fmt.Sprintf("profile=%s strategy=%s", profile.Name, kinds[0])
 		runCluster(cfgs, clusterParams{
-			queueCap: *queueCap, policy: *cloudPolicy, workers: *cloudWorkers, seed: *seed,
-			engine: *engine, engineWorkers: *engineWorkers,
+			seed: *seed, engine: *engine, engineWorkers: *engineWorkers,
 		}, *asJSON, *verbose, header)
 		return
 	}
 
 	cfgs := shoggoth.Grid([]*shoggoth.Profile{profile}, kinds, baseOpts(*seed)...)
-	for i := range cfgs {
-		cfgs[i].CloudQueueCap = *queueCap
-		cfgs[i].CloudPolicy = *cloudPolicy
-		cfgs[i].CloudWorkers = *cloudWorkers
-	}
+	applyCloudFlags(cfgs)
 	runFleet(cfgs, *workers, *asJSON, *verbose, "profile="+profile.Name, *seed)
 }
 
@@ -182,6 +230,7 @@ func printRegistries() {
 		{"strategies (-strategy)", shoggoth.StrategyEntries()},
 		{"profiles (-profile)", shoggoth.ProfileEntries()},
 		{"cloud policies (-cloud-policy)", shoggoth.CloudPolicyEntries()},
+		{"cloud routers (-cloud-router)", shoggoth.CloudRouterEntries()},
 		{"scenarios (-scenario)", shoggoth.ScenarioEntries()},
 	}
 	for i, s := range sections {
@@ -190,7 +239,7 @@ func printRegistries() {
 		}
 		fmt.Printf("%s:\n", s.title)
 		for _, e := range s.entries {
-			fmt.Printf("  %-14s %s\n", e.Name, e.Summary)
+			fmt.Printf("  %-15s %s\n", e.Name, e.Summary)
 		}
 	}
 }
@@ -233,11 +282,10 @@ func runFleet(cfgs []shoggoth.Config, workers int, asJSON, verbose bool, header 
 	}
 }
 
-// clusterParams bundles the cluster-mode knobs.
+// clusterParams bundles the cluster-mode knobs. Cloud-tier settings travel
+// inside the device configs (the cluster adopts device 0's spec), so only
+// the execution-core knobs remain here.
 type clusterParams struct {
-	queueCap      int
-	policy        string
-	workers       int
 	seed          uint64
 	engine        string
 	engineWorkers int
@@ -259,10 +307,7 @@ func parseFidelity(name string) (shoggoth.Fidelity, error) {
 // labeling service and prints per-device results plus the queue's
 // contention statistics.
 func runCluster(cfgs []shoggoth.Config, p clusterParams, asJSON, verbose bool, header string) {
-	cluster := &shoggoth.Cluster{
-		QueueCap: p.queueCap, Policy: p.policy, Workers: p.workers,
-		Engine: p.engine, EngineWorkers: p.engineWorkers,
-	}
+	cluster := &shoggoth.Cluster{Engine: p.engine, EngineWorkers: p.engineWorkers}
 	if verbose {
 		cluster.Perf = &shoggoth.PerfCounters{}
 		clock := shoggoth.WallClock()
@@ -282,17 +327,25 @@ func runCluster(cfgs []shoggoth.Config, p clusterParams, asJSON, verbose bool, h
 		emitJSON(res)
 		return
 	}
-	policy := p.policy
+	policy := cfgs[0].CloudPolicy
 	if policy == "" {
 		policy = "fifo"
 	}
-	workers := p.workers
+	workers := cfgs[0].CloudWorkers
 	if workers < 1 {
 		workers = 1
 	}
+	replicas := cfgs[0].CloudReplicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	router := cfgs[0].CloudRouter
+	if router == "" {
+		router = "round-robin"
+	}
 	n := len(cfgs)
-	fmt.Printf("%s devices=%d duration=%.0fs seeds=%d..%d queue-cap=%d policy=%s workers=%d\n\n",
-		header, n, res.Devices[0].Duration, p.seed, p.seed+uint64(n)-1, p.queueCap, policy, workers)
+	fmt.Printf("%s devices=%d duration=%.0fs seeds=%d..%d queue-cap=%d policy=%s workers=%d replicas=%d router=%s\n\n",
+		header, n, res.Devices[0].Duration, p.seed, p.seed+uint64(n)-1, cfgs[0].CloudQueueCap, policy, workers, replicas, router)
 	fmt.Printf("%-8s %-10s %9s %9s %8s %9s %9s %9s %10s %10s\n",
 		"device", "profile", "mAP@0.5", "up Kbps", "fps", "sessions", "batches", "dropped", "qdelay(s)", "qmax(s)")
 	for _, r := range res.Devices {
@@ -304,6 +357,31 @@ func runCluster(cfgs []shoggoth.Config, p clusterParams, asJSON, verbose bool, h
 	fmt.Printf("\ncloud: %d batches (%d dropped), queue delay mean %.3fs max %.3fs, teacher busy %.1fs (%.1f%% utilization)\n",
 		c.Batches, c.DroppedBatches, c.QueueDelayMeanSec, c.QueueDelayMaxSec,
 		c.BusySeconds, res.Utilization()*100)
+	if len(c.Replicas) > 1 {
+		for i, rep := range c.Replicas {
+			fmt.Printf("  replica %d: %d batches (%d dropped), qdelay mean %.3fs, busy %.1fs\n",
+				i, rep.Batches, rep.DroppedBatches, rep.QueueDelayMeanSec, rep.BusySeconds)
+		}
+	}
+	if c.AdmissionRejected > 0 {
+		fmt.Printf("  admission control rejected %d batches\n", c.AdmissionRejected)
+	}
+	if c.CoalescedForwards > 0 {
+		fmt.Printf("  %d coalesced teacher forwards covering %d batches\n", c.CoalescedForwards, c.CoalescedBatches)
+	}
+	if len(c.SLOClasses) > 0 {
+		classes := make([]string, 0, len(c.SLOClasses))
+		for name := range c.SLOClasses {
+			classes = append(classes, name)
+		}
+		sort.Strings(classes)
+		for _, name := range classes {
+			sc := c.SLOClasses[name]
+			fmt.Printf("  class %-10s %d batches (%.1f%% dropped), label latency p50 %.3fs p99 %.3fs\n",
+				name, sc.Batches, sc.DropRate*100, sc.LabelLatencyP50Sec, sc.LabelLatencyP99Sec)
+		}
+	}
+	fmt.Printf("  jain fairness across devices: %.3f\n", c.JainFairness)
 	if res.Engine != nil {
 		fmt.Printf("engine: %d events over %d epochs\n", res.Engine.Events, res.Engine.Epochs)
 	}

@@ -101,3 +101,64 @@ func TestFleetDeterminism10k(t *testing.T) {
 		t.Fatal("second sharded 10k-device run diverged")
 	}
 }
+
+// TestMultiCloudTierDeterminism extends the determinism contract to the
+// routed cloud tier: the multi-cloud scenario (3 replicas, domain-affinity
+// routing, token-bucket admission, 3-way teacher batching, cold-start
+// pricing) at events fidelity must produce byte-identical ClusterResults
+// whether the engine runs serially or sharded across 8 workers — replica
+// choice, bucket state and coalescing groups are all functions of the
+// admitted batch sequence, never of engine interleaving. The run must also
+// genuinely exercise the tier: several replicas served, batches coalesced,
+// both SLO classes present.
+func TestMultiCloudTierDeterminism(t *testing.T) {
+	sc, err := shoggoth.ScenarioByName("multi-cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) ([]byte, *shoggoth.ClusterResults) {
+		cfgs, err := shoggoth.ScenarioConfigs(sc, shoggoth.Shoggoth, 6,
+			shoggoth.WithSeed(7), shoggoth.WithCycles(0.5), shoggoth.WithFidelity(shoggoth.FidelityEvents))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// No cloud knobs on the Cluster: the shared tier adopts the scenario's
+		// CloudSpec stamped into the device configs.
+		res, err := (&shoggoth.Cluster{EngineWorkers: workers}).Run(context.Background(), cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return encodeJSON(t, res), res
+	}
+	serial, res := run(1)
+	if len(res.Cloud.Replicas) != 3 {
+		t.Fatalf("want 3 replica stat blocks, got %d", len(res.Cloud.Replicas))
+	}
+	served := 0
+	for _, r := range res.Cloud.Replicas {
+		if r.Batches > 0 {
+			served++
+		}
+	}
+	if served < 2 {
+		t.Fatalf("only %d replicas served batches — routing proved nothing", served)
+	}
+	if res.Cloud.CoalescedForwards == 0 {
+		t.Fatal("no coalesced forwards — cross-device batching never engaged")
+	}
+	for _, class := range []string{"premium", "standard"} {
+		cs, ok := res.Cloud.SLOClasses[class]
+		if !ok || cs.Batches == 0 {
+			t.Fatalf("SLO class %q missing or empty: %+v", class, res.Cloud.SLOClasses)
+		}
+	}
+	if res.Cloud.JainFairness <= 0 || res.Cloud.JainFairness > 1 {
+		t.Fatalf("Jain fairness out of range: %v", res.Cloud.JainFairness)
+	}
+	if serial2, _ := run(1); !bytes.Equal(serial, serial2) {
+		t.Fatal("two serial multi-cloud runs produced different ClusterResults JSON")
+	}
+	if sharded, _ := run(8); !bytes.Equal(serial, sharded) {
+		t.Fatal("EngineWorkers=8 changed the multi-cloud ClusterResults")
+	}
+}

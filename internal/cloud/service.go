@@ -26,7 +26,24 @@ type ServiceConfig struct {
 	// labels concurrently (in virtual time, each on its own busyUntil
 	// horizon). 0 means 1.
 	Workers int
+	// Coalesce enables cross-device teacher batching on the deferred
+	// dispatch path: when a worker frees, up to Coalesce compatible pending
+	// batches (same per-frame teacher latency) are fused into ONE priced
+	// teacher forward — the first batch pays full per-frame latency, every
+	// piggybacked frame pays CoalesceMarginal of it. Values < 2 disable
+	// coalescing (the frozen default). Coalescing forces the deferred path
+	// even under an arrival-order policy, so it needs Bind; the real-time
+	// Admit path never coalesces (arrival order is fixed by the network).
+	Coalesce int
+	// CoalesceMarginal is the fractional per-frame cost of piggybacked
+	// frames in a coalesced forward (0 means DefaultCoalesceMarginal).
+	CoalesceMarginal float64
 }
+
+// DefaultCoalesceMarginal is the modeled marginal cost of a piggybacked
+// frame in a coalesced teacher forward: batching amortises weight loading
+// and kernel launch, leaving ~15% of the per-frame latency.
+const DefaultCoalesceMarginal = 0.15
 
 // QueueStats is a snapshot of labeling-queue behaviour, either for the
 // whole service or for one device. Delays are the time a batch waited
@@ -61,6 +78,20 @@ func (a *queueAccum) admit(delay, service float64) {
 	a.busySec += service
 }
 
+// merge folds another accumulator into a. Merging replica accumulators in
+// replica-index order is deterministic, and merging one accumulator into a
+// zero value reproduces its snapshot bit for bit (sums gain 0, the mean
+// performs the identical division).
+func (a *queueAccum) merge(o queueAccum) {
+	a.batches += o.batches
+	a.dropped += o.dropped
+	a.delay.Merge(o.delay)
+	if o.delayMax > a.delayMax {
+		a.delayMax = o.delayMax
+	}
+	a.busySec += o.busySec
+}
+
 func (a *queueAccum) snapshot() QueueStats {
 	return QueueStats{
 		Batches:           a.batches,
@@ -78,7 +109,10 @@ type pendingBatch struct {
 	frames  []*video.Frame
 	arrival float64
 	seq     int
-	cb      func(BatchResult)
+	// extra is additional one-off service time the batch carries (a tier's
+	// domain cold-start penalty); 0 on every pre-tier path.
+	extra float64
+	cb    func(BatchResult)
 }
 
 // Service is the cloud scheduling engine: one shared labeling backend
@@ -121,6 +155,10 @@ type Service struct {
 	seq         int
 	agg         queueAccum
 	devices     map[string]*ServiceDevice
+	// coalescedForwards counts multi-batch teacher forwards; coalescedBatches
+	// counts the batches that rode in them (primaries included).
+	coalescedForwards int
+	coalescedBatches  int
 
 	// sched drives deferred dispatch for reordering policies (Bind). A
 	// Timeline rather than a concrete scheduler so the fleet engine can
@@ -142,9 +180,11 @@ func NewService(cfg ServiceConfig) *Service {
 		workers = 1
 	}
 	return &Service{
-		cfg:       cfg,
-		policy:    policy,
-		immediate: policy.Immediate(),
+		cfg:    cfg,
+		policy: policy,
+		// Coalescing fuses batches when a worker frees, so it needs the
+		// deferred dispatch path even under an arrival-order policy.
+		immediate: policy.Immediate() && cfg.Coalesce < 2,
 		workers:   make([]float64, workers),
 		devices:   make(map[string]*ServiceDevice),
 	}
@@ -224,8 +264,12 @@ func (s *Service) AtCapacity(now float64) bool {
 }
 
 // RetryAfterSec estimates, at time now, how long until the admission queue
-// frees a slot: the earliest outstanding completion still in the future
-// (0 when nothing is outstanding — the queue cannot be full then). The rpc
+// frees a slot, accounting for the whole worker pool's drain rate: the
+// earliest future completion among assigned batches, or — when the queue is
+// held full by still-unassigned pending batches — the earliest completion a
+// pool-drain replay of the pending queue produces. With Workers > 1 the
+// pending batches drain in parallel across horizons, so the estimate is the
+// pool's, not a serial queue's. 0 means nothing occupies the queue. The rpc
 // server turns this into the Retry-After header of a 429.
 func (s *Service) RetryAfterSec(now float64) float64 {
 	s.mu.Lock()
@@ -234,6 +278,29 @@ func (s *Service) RetryAfterSec(now float64) float64 {
 	for _, done := range s.outstanding {
 		if done > now && done < earliest {
 			earliest = done
+		}
+	}
+	if len(s.pending) > 0 {
+		// Replay the pending queue over a copy of the worker horizons in
+		// arrival order (a conservative estimate: reordering policies and
+		// coalescing can only finish a first batch sooner). The first
+		// simulated completion frees a queue slot.
+		horizons := make([]float64, len(s.workers))
+		copy(horizons, s.workers)
+		for _, b := range s.pending {
+			w := 0
+			for i := 1; i < len(horizons); i++ {
+				if horizons[i] < horizons[w] {
+					w = i
+				}
+			}
+			start := math.Max(now, horizons[w])
+			service := float64(len(b.frames))*b.dev.labeler.Config.TeacherLatencySec + b.extra
+			done := start + service
+			horizons[w] = done
+			if done > now && done < earliest {
+				earliest = done
+			}
 		}
 	}
 	if math.IsInf(earliest, 1) {
@@ -295,8 +362,11 @@ func (s *Service) freeWorkerLocked() int {
 
 // assignLocked schedules one batch of n frames from d onto the best worker,
 // starting no earlier than now, and records the queue statistics. arrival
-// is when the batch entered the system (equals now on the eager path).
-func (s *Service) assignLocked(d *ServiceDevice, n int, now, arrival float64) Admission {
+// is when the batch entered the system (equals now on the eager path);
+// extra is one-off additional service time (a tier cold-start penalty —
+// only added when nonzero, so extra-free paths keep the exact float op
+// sequence of the pre-tier cloud).
+func (s *Service) assignLocked(d *ServiceDevice, n int, now, arrival, extra float64) Admission {
 	w := s.freeWorkerLocked()
 	start := math.Max(now, s.workers[w])
 	// Service time is summed per frame, exactly as the labeling loop
@@ -305,6 +375,9 @@ func (s *Service) assignLocked(d *ServiceDevice, n int, now, arrival float64) Ad
 	var service float64
 	for i := 0; i < n; i++ {
 		service += d.labeler.Config.TeacherLatencySec
+	}
+	if extra != 0 {
+		service += extra
 	}
 	done := start + service
 	s.workers[w] = done
@@ -323,6 +396,12 @@ func (s *Service) assignLocked(d *ServiceDevice, n int, now, arrival float64) Ad
 // concurrent use; the caller labels the admitted frames with LabelFrames
 // under its own per-device serialisation.
 func (d *ServiceDevice) Admit(nFrames int, now float64) (Admission, bool) {
+	return d.admitExtra(nFrames, now, 0)
+}
+
+// admitExtra is Admit carrying one-off extra service time (a tier
+// cold-start penalty).
+func (d *ServiceDevice) admitExtra(nFrames int, now, extra float64) (Admission, bool) {
 	s := d.svc
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -332,7 +411,7 @@ func (d *ServiceDevice) Admit(nFrames int, now float64) (Admission, bool) {
 		s.agg.dropped++
 		return Admission{}, false
 	}
-	return s.assignLocked(d, nFrames, now, now), true
+	return s.assignLocked(d, nFrames, now, now, extra), true
 }
 
 // LabelFrames runs the teacher over a batch, returning the label sets, the
@@ -361,10 +440,16 @@ func (d *ServiceDevice) LabelFrames(frames []*video.Frame) ([][]detect.TeacherLa
 // reordering policy a synchronous result would bypass the policy, so Label
 // panics there; use Enqueue instead.
 func (d *ServiceDevice) Label(frames []*video.Frame, now float64) BatchResult {
+	return d.labelExtra(frames, now, 0)
+}
+
+// labelExtra is Label carrying one-off extra service time.
+func (d *ServiceDevice) labelExtra(frames []*video.Frame, now, extra float64) BatchResult {
 	if !d.svc.immediate {
-		panic(fmt.Sprintf("cloud: Label requires an arrival-order policy; %q reorders — use Enqueue", d.svc.Policy()))
+		panic(fmt.Sprintf("cloud: Label requires an arrival-order policy without coalescing; %q (coalesce %d) defers — use Enqueue",
+			d.svc.Policy(), d.svc.cfg.Coalesce))
 	}
-	adm, ok := d.Admit(len(frames), now)
+	adm, ok := d.admitExtra(len(frames), now, extra)
 	if !ok {
 		return BatchResult{Dropped: true}
 	}
@@ -386,9 +471,15 @@ func (d *ServiceDevice) Label(frames []*video.Frame, now float64) BatchResult {
 // false (and never calls cb) when the batch is dropped at a full queue.
 // Reordering policies require a bound scheduler (Bind).
 func (d *ServiceDevice) Enqueue(frames []*video.Frame, now float64, cb func(BatchResult)) bool {
+	return d.enqueueOpts(frames, now, 0, cb)
+}
+
+// enqueueOpts is Enqueue carrying one-off extra service time (a tier
+// cold-start penalty; 0 on the plain path).
+func (d *ServiceDevice) enqueueOpts(frames []*video.Frame, now, extra float64, cb func(BatchResult)) bool {
 	s := d.svc
 	if s.immediate {
-		res := d.Label(frames, now)
+		res := d.labelExtra(frames, now, extra)
 		if res.Dropped {
 			return false
 		}
@@ -396,7 +487,7 @@ func (d *ServiceDevice) Enqueue(frames []*video.Frame, now float64, cb func(Batc
 		return true
 	}
 	if s.sched == nil {
-		panic(fmt.Sprintf("cloud: policy %q needs a scheduler; call Service.Bind first", s.Policy()))
+		panic(fmt.Sprintf("cloud: policy %q (coalesce %d) needs a scheduler; call Service.Bind first", s.Policy(), s.cfg.Coalesce))
 	}
 	s.mu.Lock()
 	s.pruneLocked(now)
@@ -407,7 +498,7 @@ func (d *ServiceDevice) Enqueue(frames []*video.Frame, now float64, cb func(Batc
 		return false
 	}
 	s.seq++
-	s.pending = append(s.pending, &pendingBatch{dev: d, frames: frames, arrival: now, seq: s.seq, cb: cb})
+	s.pending = append(s.pending, &pendingBatch{dev: d, frames: frames, arrival: now, seq: s.seq, extra: extra, cb: cb})
 	s.ensureDispatchLocked(now)
 	s.mu.Unlock()
 	return true
@@ -432,10 +523,11 @@ func (s *Service) ensureDispatchLocked(now float64) {
 	s.sched.At(t, s.onDispatch)
 }
 
-// onDispatch assigns every free worker a pending batch in policy order,
-// then labels the assigned batches and delivers their callbacks in
-// assignment order. Selection and labeling are split so no callback runs
-// while the engine lock is held.
+// onDispatch assigns every free worker a pending batch in policy order —
+// or, with coalescing enabled, a policy-ordered GROUP of compatible batches
+// fused into one priced teacher forward — then labels the assigned batches
+// and delivers their callbacks in assignment order. Selection and labeling
+// are split so no callback runs while the engine lock is held.
 func (s *Service) onDispatch(now float64) {
 	type assigned struct {
 		b   *pendingBatch
@@ -445,10 +537,18 @@ func (s *Service) onDispatch(now float64) {
 	s.mu.Lock()
 	s.dispatchSet = false
 	for len(s.pending) > 0 && s.workers[s.freeWorkerLocked()] <= now {
+		if s.cfg.Coalesce >= 2 {
+			group := s.selectGroupLocked(now)
+			adms := s.assignGroupLocked(group, now)
+			for k, b := range group {
+				ready = append(ready, assigned{b: b, adm: adms[k]})
+			}
+			continue
+		}
 		i := s.selectLocked(now)
 		b := s.pending[i]
 		s.pending = append(s.pending[:i], s.pending[i+1:]...)
-		ready = append(ready, assigned{b: b, adm: s.assignLocked(b.dev, len(b.frames), now, b.arrival)})
+		ready = append(ready, assigned{b: b, adm: s.assignLocked(b.dev, len(b.frames), now, b.arrival, b.extra)})
 	}
 	s.ensureDispatchLocked(now)
 	s.mu.Unlock()
@@ -464,6 +564,80 @@ func (s *Service) onDispatch(now float64) {
 			QueueDelaySec: a.adm.QueueDelaySec,
 		})
 	}
+}
+
+// selectGroupLocked pulls up to Coalesce pending batches for one fused
+// teacher forward, each chosen by the policy in turn (so the primary — and
+// every rider — is still the policy's pick among eligible heads). Selection
+// stops early at an incompatible batch: riders must share the primary's
+// per-frame teacher latency, or the fused forward's pricing would mix
+// models.
+func (s *Service) selectGroupLocked(now float64) []*pendingBatch {
+	i := s.selectLocked(now)
+	first := s.pending[i]
+	s.pending = append(s.pending[:i], s.pending[i+1:]...)
+	group := []*pendingBatch{first}
+	lat := first.dev.labeler.Config.TeacherLatencySec
+	for len(group) < s.cfg.Coalesce && len(s.pending) > 0 {
+		j := s.selectLocked(now)
+		b := s.pending[j]
+		if b.dev.labeler.Config.TeacherLatencySec != lat {
+			break
+		}
+		s.pending = append(s.pending[:j], s.pending[j+1:]...)
+		group = append(group, b)
+	}
+	return group
+}
+
+// assignGroupLocked prices one fused teacher forward on the soonest-free
+// worker: the primary batch's frames at full per-frame latency (the exact
+// per-frame summation loop of the solo path), each rider's frames at the
+// marginal fraction, summed in selection order — the float op order is part
+// of the determinism contract. All batches in the group share one start and
+// one completion; each batch's own contribution is what lands in its
+// device's busy-time accumulator, keeping per-device stats additive (and
+// meaning WFQ's attained-service counter advances less for piggybacked
+// work — riders are cheap by construction).
+func (s *Service) assignGroupLocked(group []*pendingBatch, now float64) []Admission {
+	w := s.freeWorkerLocked()
+	start := math.Max(now, s.workers[w])
+	marginal := s.cfg.CoalesceMarginal
+	if marginal <= 0 {
+		marginal = DefaultCoalesceMarginal
+	}
+	costs := make([]float64, len(group))
+	var total float64
+	for k, b := range group {
+		lat := b.dev.labeler.Config.TeacherLatencySec
+		if k > 0 {
+			lat *= marginal
+		}
+		var c float64
+		for i := 0; i < len(b.frames); i++ {
+			c += lat
+		}
+		if b.extra != 0 {
+			c += b.extra
+		}
+		costs[k] = c
+		total += c
+	}
+	done := start + total
+	s.workers[w] = done
+	adms := make([]Admission, len(group))
+	for k, b := range group {
+		s.outstanding = append(s.outstanding, done)
+		delay := start - b.arrival
+		b.dev.acc.admit(delay, costs[k])
+		s.agg.admit(delay, costs[k])
+		adms[k] = Admission{Start: start, Done: done, QueueDelaySec: delay, ServiceSec: costs[k]}
+	}
+	if len(group) > 1 {
+		s.coalescedForwards++
+		s.coalescedBatches += len(group)
+	}
+	return adms
 }
 
 // selectLocked asks the policy for the next batch among each device's
@@ -535,4 +709,47 @@ func (d *ServiceDevice) Stats() QueueStats {
 	d.svc.mu.Lock()
 	defer d.svc.mu.Unlock()
 	return d.acc.snapshot()
+}
+
+// accCopy returns a copy of the device's raw accumulator, for a tier
+// merging per-replica registrations of one logical device.
+func (d *ServiceDevice) accCopy() queueAccum {
+	d.svc.mu.Lock()
+	defer d.svc.mu.Unlock()
+	return d.acc
+}
+
+// aggCopy returns a copy of the service-wide raw accumulator.
+func (s *Service) aggCopy() queueAccum {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agg
+}
+
+// coalesceCounts reports fused teacher forwards and the batches that rode
+// in them.
+func (s *Service) coalesceCounts() (forwards, batches int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coalescedForwards, s.coalescedBatches
+}
+
+// loadSnapshot reports the replica's occupancy (batches in service plus
+// waiting) and the time until a teacher worker frees — the router's
+// queue-delay estimate. Unlike AtCapacity it never compacts outstanding:
+// it runs on the tier's hot dispatch path, which must not allocate.
+func (s *Service) loadSnapshot(now float64) (queueLen int, freeInSec float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := 0
+	for _, done := range s.outstanding {
+		if done > now {
+			live++
+		}
+	}
+	t := s.workers[s.freeWorkerLocked()]
+	if t < now {
+		t = now
+	}
+	return live + len(s.pending), t - now
 }

@@ -70,6 +70,36 @@ type Config struct {
 	// default. Ignored when the run joins a shared cloud service.
 	CloudWorkers int
 
+	// CloudReplicas is how many teacher replicas the private cloud tier
+	// owns. Values ≤ 1 (with every other tier knob unset) keep the bare
+	// single Service, the frozen default. Ignored when the run joins a
+	// shared cloud service.
+	CloudReplicas int
+	// CloudRouter names the replica router dispatching batches across the
+	// tier (registered in internal/cloud: "round-robin", "least-loaded",
+	// "domain-affinity", plus anything added via RegisterRouter). Empty
+	// means round-robin. Setting it — even with one replica — builds a
+	// Tier. Ignored when the run joins a shared cloud service.
+	CloudRouter string
+	// CloudAdmitRate enables token-bucket admission control in front of the
+	// tier: sustained batches per virtual second, with CloudAdmitBurst
+	// batches of headroom (0 burst means 1). 0 rate disables admission
+	// control, the frozen default.
+	CloudAdmitRate  float64
+	CloudAdmitBurst float64
+	// CloudCoalesce fuses up to this many compatible pending batches into
+	// one priced teacher forward per dispatch (cross-device batching).
+	// Values < 2 disable coalescing, the frozen default.
+	CloudCoalesce int
+	// CloudColdStartSec is the one-off teacher warmup cost the first batch
+	// of a video domain pays on a replica that has never seen that domain.
+	// 0 disables it, the frozen default.
+	CloudColdStartSec float64
+
+	// SLOClass names this device's service-level class for the cloud
+	// tier's per-class latency/drop metrics. Empty means "standard".
+	SLOClass string
+
 	// SampleRate fixes the frame sampling rate (fps). 0 means adaptive
 	// (the cloud controller drives it). Prompt uses the fixed maximum
 	// rate (2 fps); Table III sweeps fixed rates.
@@ -222,6 +252,21 @@ func (c *Config) Validate() error {
 	if c.CloudWorkers < 0 {
 		return fmt.Errorf("core: negative cloud worker count")
 	}
+	if err := cloud.ValidateRouter(c.CloudRouter); err != nil {
+		return err
+	}
+	if c.CloudReplicas < 0 {
+		return fmt.Errorf("core: negative cloud replica count")
+	}
+	if c.CloudAdmitRate < 0 || c.CloudAdmitBurst < 0 {
+		return fmt.Errorf("core: negative cloud admission rate/burst")
+	}
+	if c.CloudCoalesce < 0 {
+		return fmt.Errorf("core: negative cloud coalesce bound")
+	}
+	if c.CloudColdStartSec < 0 {
+		return fmt.Errorf("core: negative cloud cold-start penalty")
+	}
 	if err := c.validateLink("uplink", c.Uplink, c.UplinkTrace); err != nil {
 		return err
 	}
@@ -247,6 +292,34 @@ func (c *Config) validateLink(dir string, l netsim.Link, trace netsim.Trace) err
 		return fmt.Errorf("core: negative %s latency %g s", dir, l.LatencySec)
 	}
 	return nil
+}
+
+// cloudTier reports whether any tier knob is set, in which case a private
+// run builds its cloud as a cloud.Tier instead of the bare Service. With
+// every knob unset the bare Service keeps the frozen default path (and its
+// bit-identical golden output).
+func (c *Config) cloudTier() bool {
+	return c.CloudReplicas > 1 || c.CloudRouter != "" || c.CloudAdmitRate > 0 ||
+		c.CloudCoalesce >= 2 || c.CloudColdStartSec > 0
+}
+
+// CloudTierConfig assembles the cloud.TierConfig this config's knobs
+// describe (shared by the private-run path and Cluster's scenario
+// inheritance).
+func (c *Config) CloudTierConfig() cloud.TierConfig {
+	return cloud.TierConfig{
+		Replicas: c.CloudReplicas,
+		Router:   c.CloudRouter,
+		Service: cloud.ServiceConfig{
+			QueueCap: c.CloudQueueCap,
+			Policy:   c.CloudPolicy,
+			Workers:  c.CloudWorkers,
+			Coalesce: c.CloudCoalesce,
+		},
+		AdmitRatePerSec: c.CloudAdmitRate,
+		AdmitBurst:      c.CloudAdmitBurst,
+		ColdStartSec:    c.CloudColdStartSec,
+	}
 }
 
 // uplink returns the effective uplink network model.

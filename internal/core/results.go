@@ -54,6 +54,9 @@ type Results struct {
 	// Device identifies this deployment on a shared cloud service (empty
 	// for a private single-device run).
 	Device string `json:"device,omitempty"`
+	// SLOClass is the device's service-level class on a cloud tier (empty
+	// when unset — the tier files it under the default class).
+	SLOClass string `json:"slo_class,omitempty"`
 	// Cloud labeling-queue metrics for this device: batches served and
 	// dropped, and the queueing delay its uploads saw before the teacher
 	// started on them. On a shared service the delay is the contention

@@ -44,12 +44,13 @@ type System struct {
 	device  *edge.Device
 	sampler *edge.Sampler
 
-	// cloudSvc is the labeling service this deployment uploads to; private
-	// by default, shared across deployments under a Cluster. cloudDev is
-	// this device's registration on it (labeler φ continuity plus the
-	// optional sampling-rate controller).
-	cloudSvc *cloud.Service
-	cloudDev *cloud.ServiceDevice
+	// cloudSvc is the labeling backend this deployment uploads to; private
+	// by default (a bare Service, or a Tier when the config asks for
+	// replicas/admission/coalescing), shared across deployments under a
+	// Cluster. cloudDev is this device's registration on it (labeler φ
+	// continuity plus the optional sampling-rate controller).
+	cloudSvc cloud.Backend
+	cloudDev cloud.Device
 
 	usage     netsim.Usage
 	collector *metrics.Collector
@@ -96,10 +97,10 @@ type SystemOptions struct {
 	// Scheduler, when set, is the virtual-time event loop this deployment
 	// shares with others (a Cluster steps every device on one clock).
 	Scheduler *sim.Scheduler
-	// Cloud, when set, is a shared labeling service: this device registers
-	// on it and contends with every other registered device for teacher
-	// capacity.
-	Cloud *cloud.Service
+	// Cloud, when set, is a shared labeling backend (a Service or a Tier):
+	// this device registers on it and contends with every other registered
+	// device for teacher capacity.
+	Cloud cloud.Backend
 	// Shared, when set, receives the cross-device events this deployment
 	// emits (upload arrivals). The fleet engine passes the device's Outbox;
 	// nil routes them to the deployment's own scheduler, the classic
@@ -159,18 +160,25 @@ func NewSystemOpts(cfg Config, opts SystemOptions) (*System, error) {
 
 	s.cloudSvc = opts.Cloud
 	if s.cloudSvc == nil {
-		s.cloudSvc = cloud.NewService(cloud.ServiceConfig{
-			QueueCap: cfg.CloudQueueCap,
-			Policy:   cfg.CloudPolicy,
-			Workers:  cfg.CloudWorkers,
-		})
-		s.cloudSvc.Bind(sched)
+		if cfg.cloudTier() {
+			tier := cloud.NewTier(cfg.CloudTierConfig())
+			tier.Bind(sched)
+			s.cloudSvc = tier
+		} else {
+			svc := cloud.NewService(cloud.ServiceConfig{
+				QueueCap: cfg.CloudQueueCap,
+				Policy:   cfg.CloudPolicy,
+				Workers:  cfg.CloudWorkers,
+			})
+			svc.Bind(sched)
+			s.cloudSvc = svc
+		}
 	}
 	var ctrlCfg *cloud.ControllerConfig
 	if cfg.adaptive() {
 		ctrlCfg = &cfg.Controller
 	}
-	dev, err := s.cloudSvc.Register(cfg.DeviceID, s.teacher, cfg.Labeler, ctrlCfg)
+	dev, err := s.cloudSvc.RegisterDevice(cfg.DeviceID, s.teacher, cfg.Labeler, ctrlCfg, cloud.DeviceOptions{SLOClass: cfg.SLOClass})
 	if err != nil {
 		return nil, err
 	}
@@ -351,12 +359,12 @@ func (s *System) Config() Config { return s.cfg }
 // Scheduler exposes the virtual-time event scheduler.
 func (s *System) Scheduler() *sim.Scheduler { return s.sched }
 
-// CloudService exposes the labeling service this deployment uploads to
+// CloudService exposes the labeling backend this deployment uploads to
 // (private by default; shared under a Cluster).
-func (s *System) CloudService() *cloud.Service { return s.cloudSvc }
+func (s *System) CloudService() cloud.Backend { return s.cloudSvc }
 
-// CloudDevice exposes this deployment's registration on its cloud service.
-func (s *System) CloudDevice() *cloud.ServiceDevice { return s.cloudDev }
+// CloudDevice exposes this deployment's registration on its cloud backend.
+func (s *System) CloudDevice() cloud.Device { return s.cloudDev }
 
 // NextFrameTime returns the stream time of the next camera frame and
 // whether any frames remain — what a multi-device runner needs to step
@@ -650,6 +658,7 @@ func (s *System) finalize(end float64) *Results {
 	r.PhiMean = s.phiAll.Mean()
 	r.AlphaMean = s.alphaAll.Mean()
 	r.Device = cfg.DeviceID
+	r.SLOClass = cfg.SLOClass
 	qs := s.cloudDev.Stats()
 	r.CloudBatches = qs.Batches
 	r.CloudDroppedBatches = qs.DroppedBatches

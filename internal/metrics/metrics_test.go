@@ -234,3 +234,73 @@ func TestMeanEmpty(t *testing.T) {
 		t.Fatal("mean of empty must be 0")
 	}
 }
+
+func TestJainIndex(t *testing.T) {
+	// Empty and all-zero allocations are perfectly fair by convention: with
+	// nothing allocated there is no observable inequality (and no NaN).
+	if got := JainIndex(nil); got != 1 {
+		t.Fatalf("empty input: got %v, want 1", got)
+	}
+	if got := JainIndex([]float64{0, 0, 0}); got != 1 {
+		t.Fatalf("all-zero input: got %v, want 1", got)
+	}
+	if got := JainIndex([]float64{7}); got != 1 {
+		t.Fatalf("single device: got %v, want 1", got)
+	}
+	// Equal shares are exactly 1 — (n·x)²/(n·n·x²) cancels without rounding.
+	if got := JainIndex([]float64{5, 5, 5, 5}); got != 1 {
+		t.Fatalf("equal shares: got %v, want exactly 1", got)
+	}
+	// One device gets everything: the floor 1/n, exactly.
+	if got := JainIndex([]float64{12, 0, 0, 0}); got != 0.25 {
+		t.Fatalf("one-gets-all of 4: got %v, want exactly 0.25", got)
+	}
+	// One starved device of four equals (3·x)²/(4·3x²) = 3/4, exactly.
+	if got := JainIndex([]float64{2, 2, 2, 0}); got != 0.75 {
+		t.Fatalf("one starved of 4: got %v, want exactly 0.75", got)
+	}
+	// The index is scale-invariant and bounded in [1/n, 1].
+	a := JainIndex([]float64{1, 2, 3})
+	b := JainIndex([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-15 {
+		t.Fatalf("scale invariance broken: %v vs %v", a, b)
+	}
+	if a < 1.0/3 || a > 1 {
+		t.Fatalf("index out of [1/n, 1]: %v", a)
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	// Merging into a zero accumulator reproduces the source bit for bit:
+	// sum and count transfer unchanged, so Mean performs the identical
+	// division. This is what lets a tier merge per-replica accumulators and
+	// still honour the 1-replica pass-through contract.
+	var src Running
+	for _, x := range []float64{0.1, 0.2, 0.7} {
+		src.Add(x)
+	}
+	var dst Running
+	dst.Merge(src)
+	if dst.Count() != src.Count() || dst.Mean() != src.Mean() {
+		t.Fatalf("merge into zero value not exact: %v/%d vs %v/%d",
+			dst.Mean(), dst.Count(), src.Mean(), src.Count())
+	}
+	// Merging a second stream is equivalent to having Added its values after.
+	var more Running
+	more.Add(0.4)
+	more.Add(0.6)
+	dst.Merge(more)
+	var flat Running
+	for _, x := range []float64{0.1, 0.2, 0.7, 0.4, 0.6} {
+		flat.Add(x)
+	}
+	if dst.Count() != 5 || dst.Mean() != flat.Mean() {
+		t.Fatalf("merged mean %v (n=%d), want %v (n=5)", dst.Mean(), dst.Count(), flat.Mean())
+	}
+	// Merging an empty accumulator is a no-op.
+	before := dst
+	dst.Merge(Running{})
+	if dst != before {
+		t.Fatal("merging an empty Running changed the accumulator")
+	}
+}

@@ -75,6 +75,25 @@ func Quantile(xs []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
+// JainIndex returns Jain's fairness index (Σx)² / (n·Σx²) over non-negative
+// allocations: 1 means every device got the same share, 1/n means one device
+// got everything. Empty and all-zero inputs return 1 by convention — with
+// nothing allocated there is no observable inequality.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
 // Running tracks a running mean over a stream of values.
 type Running struct {
 	n   int
@@ -91,6 +110,13 @@ func (r *Running) Mean() float64 {
 	}
 	return r.sum / float64(r.n)
 }
+
+// Merge folds another accumulator into r, as if r had Added every value o
+// absorbed (o's running sum is added after r's, so merging accumulators in a
+// fixed order is deterministic; merging into a zero Running reproduces o's
+// mean bit for bit — the sum and count are unchanged, so Mean performs the
+// identical division).
+func (r *Running) Merge(o Running) { r.n += o.n; r.sum += o.sum }
 
 // Count returns the number of accumulated values.
 func (r *Running) Count() int { return r.n }

@@ -27,6 +27,11 @@ type LabelRequest struct {
 	Alpha float64
 	// Lambda is the mean resource usage since the last report.
 	Lambda float64
+	// SLOClass names the device's service-level class for the tier's
+	// per-class metrics. Only the first request of a device registers it;
+	// empty means the default class. Old clients omit the field (gob
+	// decodes it as empty), which is fully compatible.
+	SLOClass string
 }
 
 // LabelResponse returns online labels and the new sampling rate.
@@ -44,14 +49,18 @@ type LabelResponse struct {
 }
 
 // StatusResponse reports cloud-side state for a device, including the
-// scheduling engine's queue statistics: the device's own view and the
-// service-wide aggregate.
+// scheduling engine's queue statistics: the device's own view, the
+// tier-wide aggregate, and the full tier breakdown (per-replica queues,
+// admission rejections, per-SLO-class latency/drop metrics, fairness).
 type StatusResponse struct {
 	DeviceID      string
 	Rate          float64
 	FramesLabeled int64
 	// Queue is this device's labeling-queue statistics.
 	Queue cloud.QueueStats
-	// Cloud aggregates the whole service (every device).
+	// Cloud aggregates the whole tier (every device, every replica).
 	Cloud cloud.QueueStats
+	// Tier is the routing-tier breakdown: per-replica queue statistics and
+	// per-SLO-class label latency and drop rates.
+	Tier cloud.TierStats
 }

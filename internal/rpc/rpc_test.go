@@ -163,8 +163,8 @@ func TestStatusUnknownDeviceNotFound(t *testing.T) {
 	if n != 0 {
 		t.Fatalf("status probes created %d device states; status must be read-only", n)
 	}
-	if server.svc.Devices() != 0 {
-		t.Fatalf("status probes registered %d devices on the engine", server.svc.Devices())
+	if server.tier.Devices() != 0 {
+		t.Fatalf("status probes registered %d devices on the engine", server.tier.Devices())
 	}
 }
 
@@ -300,8 +300,8 @@ func TestUnknownDeviceRejectedBeforeRegistration(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("rejected unknown devices grew the registry to %d entries, want 1", n)
 	}
-	if server.svc.Devices() != 1 {
-		t.Fatalf("rejected unknown devices registered %d engine devices, want 1", server.svc.Devices())
+	if server.tier.Devices() != 1 {
+		t.Fatalf("rejected unknown devices registered %d engine devices, want 1", server.tier.Devices())
 	}
 }
 

@@ -17,31 +17,44 @@ import (
 
 // ServerOptions shapes the cloud server's labeling engine.
 type ServerOptions struct {
-	// QueueCap bounds the labeling queue exactly as in the simulation
-	// (batches in modeled service plus waiting); a request arriving at a
-	// full queue is rejected with 429 and a Retry-After header. 0 means
-	// unbounded.
+	// QueueCap bounds each replica's labeling queue exactly as in the
+	// simulation (batches in modeled service plus waiting); a request
+	// arriving at a full tier is rejected with 429 and a Retry-After
+	// header. 0 means unbounded.
 	QueueCap int
-	// Workers is the teacher pipeline pool size of the engine's service
+	// Workers is the teacher pipeline pool size of each replica's service
 	// model. 0 means 1.
 	Workers int
+	// Replicas is the tier's teacher replica count. 0 or 1 means one.
+	Replicas int
+	// Router names the replica router dispatching label requests
+	// ("round-robin", "least-loaded", "domain-affinity", or any registered
+	// router). Empty means round-robin.
+	Router string
+	// AdmitRatePerSec, when positive, enables token-bucket admission
+	// control: the sustained request rate per second. Rejections answer 429
+	// with a bucket-aware Retry-After.
+	AdmitRatePerSec float64
+	// AdmitBurst is the bucket's burst capacity (< 1 clamps to 1).
+	AdmitBurst float64
 }
 
-// Server is the cloud side: the same cloud.Service scheduling engine the
-// simulation's Cluster runs, served over HTTP. Requests are admitted
-// through the engine — so QueueCap overload surfaces as 429 backpressure
-// and queue statistics accumulate exactly as in the virtual-time model —
-// while teacher inference for unrelated devices still runs concurrently
-// behind per-device locks; only admission (engine state) and the device
-// registry are globally locked. Service order is arrival order: on a real
-// network the wire already fixed it, so the engine contributes admission
-// control, worker horizons and statistics rather than reordering.
+// Server is the cloud side: the same cloud.Tier routing-and-scheduling
+// engine the simulation's Cluster runs, served over HTTP. Requests are
+// admitted through the engine — so token-bucket rejections and QueueCap
+// overload surface as 429 backpressure and queue statistics accumulate
+// exactly as in the virtual-time model — while teacher inference for
+// unrelated devices still runs concurrently behind per-device locks; only
+// admission/routing (engine state) and the device registry are globally
+// locked. Service order is arrival order: on a real network the wire
+// already fixed it, so the engine contributes admission control, replica
+// routing, worker horizons and statistics rather than reordering.
 type Server struct {
 	profile    *video.Profile
 	labelerCfg cloud.LabelerConfig
 	ctrlCfg    cloud.ControllerConfig
 	seed       uint64
-	svc        *cloud.Service
+	tier       *cloud.Tier
 	start      time.Time
 
 	mu      sync.Mutex // guards the devices map only
@@ -54,7 +67,7 @@ type Server struct {
 // handleStatus — without ever blocking other devices.
 type deviceState struct {
 	mu      sync.Mutex
-	dev     *cloud.ServiceDevice
+	dev     *cloud.TierDevice
 	labeled int64
 }
 
@@ -71,9 +84,15 @@ func NewServerOpts(p *video.Profile, seed uint64, opts ServerOptions) *Server {
 		labelerCfg: cloud.DefaultLabelerConfig(),
 		ctrlCfg:    cloud.DefaultControllerConfig(),
 		seed:       seed,
-		svc: cloud.NewService(cloud.ServiceConfig{
-			QueueCap: opts.QueueCap,
-			Workers:  opts.Workers,
+		tier: cloud.NewTier(cloud.TierConfig{
+			Replicas: opts.Replicas,
+			Router:   opts.Router,
+			Service: cloud.ServiceConfig{
+				QueueCap: opts.QueueCap,
+				Workers:  opts.Workers,
+			},
+			AdmitRatePerSec: opts.AdmitRatePerSec,
+			AdmitBurst:      opts.AdmitBurst,
 		}),
 		//shoggoth:allow wallclock -- live boundary: the HTTP server's epoch; real devices arrive in real time, wall time IS the engine clock here
 		start:   time.Now(),
@@ -98,8 +117,10 @@ func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
 // device returns (creating on first use) the per-device state. Each device
 // gets its own teacher error stream and controller, like the paper's shared
 // cloud serving many edge devices. Devices register on the engine lazily on
-// their first label upload — never from a status probe (lookup).
-func (s *Server) device(id string) (*deviceState, error) {
+// their first label upload — never from a status probe (lookup). The SLO
+// class sticks from that first registration; later requests cannot move a
+// device between classes.
+func (s *Server) device(id, sloClass string) (*deviceState, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if d, ok := s.devices[id]; ok {
@@ -110,7 +131,7 @@ func (s *Server) device(id string) (*deviceState, error) {
 		h = h*131 + uint64(c)
 	}
 	teacher := detect.NewTeacher(s.profile, rand.New(rand.NewPCG(s.seed, h)))
-	dev, err := s.svc.Register(id, teacher, s.labelerCfg, &s.ctrlCfg)
+	dev, err := s.tier.Register(id, teacher, s.labelerCfg, &s.ctrlCfg, cloud.DeviceOptions{SLOClass: sloClass})
 	if err != nil {
 		return nil, err
 	}
@@ -150,34 +171,34 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "non-finite Alpha/Lambda telemetry", http.StatusBadRequest)
 		return
 	}
-	// An unknown device at a full queue is rejected before its state
+	// An unknown device at a full tier is rejected before its state
 	// (teacher + controller) is allocated: unique-id spam against an
 	// overloaded cloud must not grow the registry — the same bloat hole
 	// handleStatus closes by being read-only. Advisory only; Admit below
 	// re-checks authoritatively.
-	if s.lookup(req.DeviceID) == nil && s.svc.AtCapacity(s.now()) {
+	if s.lookup(req.DeviceID) == nil && s.tier.AtCapacity(s.now()) {
 		s.rejectFull(w)
 		return
 	}
-	d, err := s.device(req.DeviceID)
+	d, err := s.device(req.DeviceID, req.SLOClass)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("register: %v", err), http.StatusInternalServerError)
 		return
 	}
 
+	frames := make([]*video.Frame, len(req.Frames))
+	for i := range req.Frames {
+		frames[i] = &req.Frames[i]
+	}
 	d.mu.Lock()
 	now := s.now()
-	adm, ok := d.dev.Admit(len(req.Frames), now)
+	adm, reg, ok := d.dev.Admit(frames, now)
 	if !ok {
 		d.mu.Unlock()
 		s.rejectFull(w)
 		return
 	}
-	frames := make([]*video.Frame, len(req.Frames))
-	for i := range req.Frames {
-		frames[i] = &req.Frames[i]
-	}
-	labels, _, phiMean := d.dev.LabelFrames(frames)
+	labels, _, phiMean := reg.LabelFrames(frames)
 	d.labeled += int64(len(req.Frames))
 	rate, _ := d.dev.UpdateRate(phiMean, req.Alpha, req.Lambda)
 	d.mu.Unlock()
@@ -194,9 +215,11 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// rejectFull answers 429 with the engine's Retry-After estimate.
+// rejectFull answers 429 with the engine's Retry-After estimate — the
+// earliest of a replica worker freeing and, under admission control, the
+// token bucket refilling.
 func (s *Server) rejectFull(w http.ResponseWriter) {
-	retry := int(math.Ceil(s.svc.RetryAfterSec(s.now())))
+	retry := int(math.Ceil(s.tier.RetryAfterSec(s.now())))
 	if retry < 1 {
 		retry = 1
 	}
@@ -224,7 +247,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Rate:          d.dev.Rate(),
 		FramesLabeled: d.labeled,
 		Queue:         d.dev.Stats(),
-		Cloud:         s.svc.Stats(),
+		Cloud:         s.tier.Stats(),
+		Tier:          s.tier.TierStats(),
 	}
 	d.mu.Unlock()
 	w.Header().Set("Content-Type", "application/octet-stream")

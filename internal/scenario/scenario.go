@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"shoggoth/internal/cloud"
 	"shoggoth/internal/netsim"
 	"shoggoth/internal/video"
 )
@@ -44,6 +45,38 @@ type Scenario struct {
 	// Network is the fleet-wide network model; a device slice's Network
 	// overrides it wholesale.
 	Network NetworkSpec `json:"network,omitempty"`
+	// Cloud, when set, shapes the shared labeling tier the fleet uploads to:
+	// replica count, replica router, admission control and cross-device
+	// teacher batching. Nil keeps the frozen single-service default.
+	Cloud *CloudSpec `json:"cloud,omitempty"`
+}
+
+// CloudSpec is the declarative form of the shared cloud tier. Zero-valued
+// fields keep the frozen defaults (one replica, round-robin, no admission
+// control, no batching), so an empty spec is the classic single service.
+type CloudSpec struct {
+	// Replicas is the teacher replica count (0 or 1 = one replica).
+	Replicas int `json:"replicas,omitempty"`
+	// Router names the replica router ("round-robin", "least-loaded",
+	// "domain-affinity", or any registered router). Empty = round-robin.
+	Router string `json:"router,omitempty"`
+	// Policy names each replica's scheduling policy ("fifo", "phi-priority",
+	// "wfq", or any registered policy). Empty = FIFO.
+	Policy string `json:"policy,omitempty"`
+	// Workers is each replica's teacher pipeline pool size (0 = 1).
+	Workers int `json:"workers,omitempty"`
+	// QueueCap bounds each replica's labeling queue (0 = unbounded).
+	QueueCap int `json:"queue_cap,omitempty"`
+	// AdmitRatePerSec > 0 enables token-bucket admission control at that
+	// sustained batch rate per virtual second.
+	AdmitRatePerSec float64 `json:"admit_rate_per_sec,omitempty"`
+	// AdmitBurst is the bucket's burst capacity in batches (< 1 clamps to 1).
+	AdmitBurst float64 `json:"admit_burst,omitempty"`
+	// Coalesce >= 2 lets each replica coalesce up to that many compatible
+	// pending batches into one priced teacher forward.
+	Coalesce int `json:"coalesce,omitempty"`
+	// ColdStartSec prices the first batch of a video domain on each replica.
+	ColdStartSec float64 `json:"cold_start_sec,omitempty"`
 }
 
 // DeviceSpec is one device slice of a scenario: which world variant this
@@ -57,6 +90,9 @@ type DeviceSpec struct {
 	// Network, when set, replaces the scenario-wide network model for this
 	// device.
 	Network *NetworkSpec `json:"network,omitempty"`
+	// SLOClass names this device's service-level class on the cloud tier
+	// (per-class latency/drop metrics). Empty means the default class.
+	SLOClass string `json:"slo_class,omitempty"`
 }
 
 // NetworkSpec selects the network model per direction. A nil direction
@@ -122,6 +158,10 @@ func (sc *Scenario) clone() *Scenario {
 		out.Devices[i] = cp
 	}
 	out.Network = *sc.Network.clone()
+	if sc.Cloud != nil {
+		cl := *sc.Cloud
+		out.Cloud = &cl
+	}
 	return &out
 }
 
@@ -149,6 +189,22 @@ func (sc *Scenario) Validate() error {
 	}
 	if _, err := sc.baseProfile(); err != nil {
 		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	if cl := sc.Cloud; cl != nil {
+		if err := cloud.ValidateRouter(cl.Router); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		if err := cloud.ValidatePolicy(cl.Policy); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		if cl.Replicas < 0 || cl.Workers < 0 || cl.QueueCap < 0 || cl.Coalesce < 0 {
+			return fmt.Errorf("scenario %s: negative cloud spec field (replicas %d, workers %d, queue cap %d, coalesce %d)",
+				sc.Name, cl.Replicas, cl.Workers, cl.QueueCap, cl.Coalesce)
+		}
+		if cl.AdmitRatePerSec < 0 || cl.AdmitBurst < 0 || cl.ColdStartSec < 0 {
+			return fmt.Errorf("scenario %s: negative cloud spec field (admit rate %g, burst %g, cold start %g)",
+				sc.Name, cl.AdmitRatePerSec, cl.AdmitBurst, cl.ColdStartSec)
+		}
 	}
 	slices := sc.Devices
 	if len(slices) == 0 {

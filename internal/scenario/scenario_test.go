@@ -11,7 +11,7 @@ import (
 )
 
 func TestStockScenariosRegisteredAndValid(t *testing.T) {
-	want := []string{"steady", "rush-hour", "day-night", "lossy-uplink", "degraded-cell", "cell-tower", "hetero-fleet"}
+	want := []string{"steady", "rush-hour", "day-night", "lossy-uplink", "degraded-cell", "cell-tower", "hetero-fleet", "multi-cloud"}
 	names := Names()
 	if len(names) < len(want) {
 		t.Fatalf("expected at least %d stock scenarios, got %v", len(want), names)
@@ -65,6 +65,59 @@ func TestSteadyConfigsEqualDefaults(t *testing.T) {
 	}
 	if got.Profile.Name != def.Profile.Name || len(got.Profile.Script) != len(def.Profile.Script) {
 		t.Fatal("steady must keep the unmodified base profile")
+	}
+}
+
+func TestMultiCloudStampsTierSpec(t *testing.T) {
+	sc, err := ByName("multi-cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := sc.Configs(core.Shoggoth, 0, strategy.WithSeed(1), strategy.WithCycles(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 6 {
+		t.Fatalf("multi-cloud natural size is 6, got %d", len(cfgs))
+	}
+	wantClass := []string{"premium", "premium", "standard", "standard", "standard", "standard"}
+	for i, cfg := range cfgs {
+		// Every device carries the scenario's full tier spec, so a Cluster
+		// with no explicit cloud knobs can adopt device 0's spec.
+		if cfg.CloudReplicas != 3 || cfg.CloudRouter != "domain-affinity" ||
+			cfg.CloudCoalesce != 3 || cfg.CloudAdmitRate != 6 ||
+			cfg.CloudAdmitBurst != 8 || cfg.CloudColdStartSec != 0.3 {
+			t.Fatalf("device %d: tier spec not stamped: %+v", i, cfg)
+		}
+		if cfg.SLOClass != wantClass[i] {
+			t.Fatalf("device %d: SLO class %q, want %q", i, cfg.SLOClass, wantClass[i])
+		}
+	}
+}
+
+func TestValidateRejectsBadCloudSpec(t *testing.T) {
+	base := Scenario{Name: "t", Devices: []DeviceSpec{{}}}
+	ok := base
+	ok.Cloud = &CloudSpec{Replicas: 3, Router: "least-loaded", Policy: "wfq"}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid cloud spec rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name  string
+		cloud CloudSpec
+	}{
+		{"unknown router", CloudSpec{Router: "warp"}},
+		{"unknown policy", CloudSpec{Policy: "warp"}},
+		{"negative replicas", CloudSpec{Replicas: -1}},
+		{"negative admit rate", CloudSpec{AdmitRatePerSec: -1}},
+		{"negative cold start", CloudSpec{ColdStartSec: -0.1}},
+	} {
+		bad := base
+		cl := tc.cloud
+		bad.Cloud = &cl
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%s must fail validation", tc.name)
+		}
 	}
 }
 

@@ -95,4 +95,26 @@ func init() {
 			{Profile: "waymo", Workload: scriptShuffleStretch(7, 1.2)},
 		},
 	})
+
+	MustRegister(Scenario{
+		Name: "multi-cloud",
+		Summary: "six phase-staggered cameras in two SLO classes on a 3-replica tier: domain-affinity routing, " +
+			"token-bucket admission, 3-way teacher batching, cold-start pricing",
+		Devices: []DeviceSpec{
+			{SLOClass: "premium"},
+			{Workload: scriptPhase(60), SLOClass: "premium"},
+			{Workload: scriptPhase(120), SLOClass: "standard"},
+			{Workload: scriptPhase(180), SLOClass: "standard"},
+			{Workload: scriptPhase(240), SLOClass: "standard"},
+			{Workload: scriptDomains(0, 3), SLOClass: "standard"},
+		},
+		Cloud: &CloudSpec{
+			Replicas:        3,
+			Router:          "domain-affinity",
+			Coalesce:        3,
+			AdmitRatePerSec: 6,
+			AdmitBurst:      8,
+			ColdStartSec:    0.3,
+		},
+	})
 }

@@ -20,6 +20,9 @@ type (
 	ScenarioDevice = scenario.DeviceSpec
 	// ScenarioNetwork selects the network model per direction.
 	ScenarioNetwork = scenario.NetworkSpec
+	// ScenarioCloud shapes the shared labeling tier a scenario's fleet
+	// uploads to (replicas, router, admission control, teacher batching).
+	ScenarioCloud = scenario.CloudSpec
 	// TraceSpec is the declarative form of one direction's network model.
 	TraceSpec = scenario.TraceSpec
 	// ScriptTransform rewrites a profile's scenario script (phase offset,
@@ -107,6 +110,17 @@ func CloudPolicyEntries() []RegistryEntry {
 	out := make([]RegistryEntry, len(names))
 	for i, n := range names {
 		out[i] = RegistryEntry{Name: n, Summary: cloud.PolicySummary(n)}
+	}
+	return out
+}
+
+// CloudRouterEntries lists every registered cloud replica router with its
+// summary.
+func CloudRouterEntries() []RegistryEntry {
+	names := cloud.RouterNames()
+	out := make([]RegistryEntry, len(names))
+	for i, n := range names {
+		out[i] = RegistryEntry{Name: n, Summary: cloud.RouterSummary(n)}
 	}
 	return out
 }

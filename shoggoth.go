@@ -136,6 +136,12 @@ func StrategyKinds() []StrategyKind { return core.StrategyKinds() }
 // Cluster.Policy.
 func CloudPolicies() []string { return cloud.PolicyNames() }
 
+// CloudRouters returns every registered cloud replica router name in
+// registration order ("round-robin", "least-loaded", "domain-affinity",
+// plus any registered via cloud.RegisterRouter) — the valid values of
+// Config.CloudRouter and Cluster.Router.
+func CloudRouters() []string { return cloud.RouterNames() }
+
 // ParseStrategy resolves a strategy name such as "shoggoth" or "edge-only"
 // (case-insensitive, including registered aliases).
 func ParseStrategy(name string) (StrategyKind, error) { return strategy.Parse(name) }
