@@ -5,7 +5,7 @@
 //
 //	shoggoth-bench                 # all experiments, quick mode (1 cycle)
 //	shoggoth-bench -full           # paper-scale mode (2 cycles)
-//	shoggoth-bench -exp table3     # one experiment: table1 fig4 table2 table3 fig5 extra policy router scenario
+//	shoggoth-bench -exp table3     # one experiment: table1 fig4 table2 table3 fig5 extra policy router scenario tier
 //	shoggoth-bench -perf           # compute-core perf mode: refresh BENCH_core.json
 package main
 
@@ -24,15 +24,16 @@ func main() {
 	log.SetPrefix("shoggoth-bench: ")
 
 	full := flag.Bool("full", false, "paper-scale runs (two scenario cycles per run)")
-	exp := flag.String("exp", "all", "experiment: table1, fig4, table2, table3, fig5, extra, policy, router, scenario or all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, table2, table3, fig5, extra, policy, router, scenario, tier or all")
 	seed := flag.Uint64("seed", 1, "run seed")
 	workers := flag.Int("workers", 0, "concurrent sessions per experiment (0 = GOMAXPROCS)")
 	perf := flag.Bool("perf", false, "measure the compute-core hot paths (train step, inference) instead of the paper experiments")
 	perfOut := flag.String("perf-out", "BENCH_core.json", "perf mode: output file (baseline entries are preserved)")
+	perfMinFast := flag.Float64("perf-min-fast-speedup", 0, "perf mode: fail unless the fast tier is at least this many times faster than exact (0 = no gate; skipped without AVX2+FMA)")
 	flag.Parse()
 
 	if *perf {
-		if err := runPerf(*perfOut); err != nil {
+		if err := runPerf(*perfOut, *perfMinFast); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -132,5 +133,14 @@ func main() {
 		}
 		fmt.Println(sa.Render())
 		fmt.Printf("(scenario took %.0fs)\n\n", time.Since(start).Seconds())
+	}
+	if run("tier") {
+		start := time.Now()
+		ta, err := experiments.TierAblation(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ta.Render())
+		fmt.Printf("(tier took %.0fs)\n\n", time.Since(start).Seconds())
 	}
 }

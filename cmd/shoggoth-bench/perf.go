@@ -9,7 +9,9 @@ import (
 
 	"shoggoth/internal/cloud"
 	"shoggoth/internal/detect"
+	"shoggoth/internal/nn"
 	"shoggoth/internal/sim"
+	"shoggoth/internal/tensor"
 	"shoggoth/internal/video"
 )
 
@@ -34,6 +36,32 @@ type PerfRecord struct {
 	// engine.
 	CloudSchedFIFONsPerBatch float64 `json:"cloud_sched_fifo_ns_per_batch,omitempty"`
 	CloudSchedWFQNsPerBatch  float64 `json:"cloud_sched_wfq_ns_per_batch,omitempty"`
+}
+
+// TierPerf is one compute tier's training trajectory: the steady-state
+// adaptive-training step at the paper's configuration on that tier's
+// kernels.
+type TierPerf struct {
+	// Tier and Lane identify the measured configuration ("exact", or
+	// "fast" with its arithmetic width); Workers is the fast tier's
+	// gradient-accumulation worker count (0 for exact).
+	Tier    string `json:"tier"`
+	Lane    string `json:"lane,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+
+	TrainNsPerStep        float64 `json:"train_ns_per_step"`
+	TrainStepsPerSec      float64 `json:"train_steps_per_sec"`
+	TrainAllocsPerSession int64   `json:"train_allocs_per_session"`
+	TrainBytesPerSession  int64   `json:"train_bytes_per_session"`
+}
+
+// TeacherBatchPerf compares per-frame teacher labeling against the fast
+// tier's slab-batched labeling (cloud.Labeler.LabelBatch) over identical
+// frames: the real wall-clock gain behind the Coalesce path's modeled one.
+type TeacherBatchPerf struct {
+	PerFrameNsPerFrame float64 `json:"per_frame_ns_per_frame"`
+	BatchedNsPerFrame  float64 `json:"batched_ns_per_frame"`
+	Speedup            float64 `json:"speedup"`
 }
 
 // CloudTierPerf measures the multi-replica routing tier: the wall-clock
@@ -79,16 +107,33 @@ type PerfFile struct {
 	// CloudTier is the routing-tier microbenchmark: per-router dispatch
 	// cost and batched-vs-unbatched modeled teacher throughput.
 	CloudTier *CloudTierPerf `json:"cloud_tier,omitempty"`
+
+	// Exact and Fast are the two compute tiers' training trajectories,
+	// measured back to back on this machine; SpeedupFastOverExact is their
+	// ns/step ratio (the CI fast-tier gate reads it) and
+	// SpeedupFastVsBaseline is the fast tier against the frozen
+	// pre-refactor baseline.
+	Exact                 *TierPerf `json:"exact_tier,omitempty"`
+	Fast                  *TierPerf `json:"fast_tier,omitempty"`
+	SpeedupFastOverExact  float64   `json:"speedup_fast_over_exact,omitempty"`
+	SpeedupFastVsBaseline float64   `json:"speedup_fast_vs_baseline,omitempty"`
+
+	// TeacherBatch is the slab-batched teacher labeling measurement.
+	TeacherBatch *TeacherBatchPerf `json:"teacher_batch,omitempty"`
 }
 
-// measurePerf benchmarks the steady-state adaptive-training step and
-// single-frame inference at the paper's configuration (8 epochs, 64-sample
+// measureTrainTier benchmarks the steady-state adaptive-training step on
+// one compute tier at the paper's configuration (8 epochs, 64-sample
 // mini-batches, warm 1500-sample replay memory on the UA-DETRAC profile).
-func measurePerf(label string) PerfRecord {
+// Every tier gets an identically seeded fresh trainer, so the numbers
+// differ by kernels alone.
+func measureTrainTier(compute nn.Compute, workers int) TierPerf {
 	p := video.DETRACProfile()
 	rng := rand.New(rand.NewPCG(7, 8))
 	student := detect.NewStudent(p.FeatureDim(), p.NumClasses(), rng)
 	cfg := detect.DefaultTrainerConfig()
+	cfg.Compute = compute
+	cfg.AccumWorkers = workers
 	tr := detect.NewTrainer(student, cfg, rand.New(rand.NewPCG(9, 10)))
 	for i := 0; i < 4; i++ {
 		tr.RunSession(perfBatch(p, 300, rng))
@@ -96,7 +141,10 @@ func measurePerf(label string) PerfRecord {
 	batch := perfBatch(p, 64, rng)
 	stepsPerSession := tr.RunSession(batch).Steps
 
-	rec := PerfRecord{Label: label}
+	tp := TierPerf{Tier: compute.String(), Workers: workers}
+	if compute.Fast {
+		tp.Tier, tp.Lane = "fast", compute.Lane.String()
+	}
 	train := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -104,13 +152,67 @@ func measurePerf(label string) PerfRecord {
 		}
 	})
 	if stepsPerSession > 0 {
-		rec.TrainNsPerStep = float64(train.NsPerOp()) / float64(stepsPerSession)
-		if rec.TrainNsPerStep > 0 {
-			rec.TrainStepsPerSec = 1e9 / rec.TrainNsPerStep
+		tp.TrainNsPerStep = float64(train.NsPerOp()) / float64(stepsPerSession)
+		if tp.TrainNsPerStep > 0 {
+			tp.TrainStepsPerSec = 1e9 / tp.TrainNsPerStep
 		}
 	}
-	rec.TrainAllocsPerSession = train.AllocsPerOp()
-	rec.TrainBytesPerSession = train.AllocedBytesPerOp()
+	tp.TrainAllocsPerSession = train.AllocsPerOp()
+	tp.TrainBytesPerSession = train.AllocedBytesPerOp()
+	return tp
+}
+
+// measureTeacherBatch compares per-frame labeling against slab-batched
+// labeling over the same 16-frame batch on identically seeded labelers.
+func measureTeacherBatch() TeacherBatchPerf {
+	p := video.DETRACProfile()
+	stream := video.NewStream(p, 5)
+	frames := make([]*video.Frame, 16)
+	for i := range frames {
+		frames[i] = stream.Next()
+	}
+	mkLabeler := func() *cloud.Labeler {
+		return cloud.NewLabeler(detect.NewTeacher(p, rand.New(rand.NewPCG(15, 16))), cloud.DefaultLabelerConfig())
+	}
+
+	perLab := mkLabeler()
+	perFrame := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range frames {
+				perLab.LabelFrame(f)
+			}
+		}
+	})
+	batchLab := mkLabeler()
+	batched := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batchLab.LabelBatch(frames)
+		}
+	})
+
+	tb := TeacherBatchPerf{
+		PerFrameNsPerFrame: float64(perFrame.NsPerOp()) / float64(len(frames)),
+		BatchedNsPerFrame:  float64(batched.NsPerOp()) / float64(len(frames)),
+	}
+	if tb.BatchedNsPerFrame > 0 {
+		tb.Speedup = round2(tb.PerFrameNsPerFrame / tb.BatchedNsPerFrame)
+	}
+	return tb
+}
+
+// measurePerf benchmarks the compute core's remaining hot paths —
+// single-frame inference and the cloud scheduling engine — and mirrors the
+// exact tier's training numbers into the legacy record fields.
+func measurePerf(label string, exact TierPerf) PerfRecord {
+	p := video.DETRACProfile()
+	rng := rand.New(rand.NewPCG(7, 8))
+	student := detect.NewStudent(p.FeatureDim(), p.NumClasses(), rng)
+
+	rec := PerfRecord{Label: label}
+	rec.TrainNsPerStep = exact.TrainNsPerStep
+	rec.TrainStepsPerSec = exact.TrainStepsPerSec
+	rec.TrainAllocsPerSession = exact.TrainAllocsPerSession
+	rec.TrainBytesPerSession = exact.TrainBytesPerSession
 
 	stream := video.NewStream(p, 1)
 	frame := stream.Next()
@@ -299,8 +401,13 @@ func perfBatch(p *video.Profile, n int, rng *rand.Rand) []detect.LabeledRegion {
 }
 
 // runPerf refreshes the "current" record of BENCH_core.json, preserving the
-// frozen pre-refactor baseline, and prints a one-screen summary.
-func runPerf(path string) error {
+// frozen pre-refactor baseline, and prints a one-screen summary. Every
+// derived speedup is recomputed from the numbers just measured — nothing in
+// the file is allowed to go stale. minFastSpeedup > 0 turns the fast tier's
+// ns/step ratio over exact into a hard gate (skipped without the AVX2+FMA
+// microkernels, whose absence would make the ratio a property of the
+// machine, not the code).
+func runPerf(path string, minFastSpeedup float64) error {
 	var file PerfFile
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &file); err != nil {
@@ -310,14 +417,22 @@ func runPerf(path string) error {
 	if file.Schema == 0 {
 		file.Schema = 1
 	}
-	if file.Note == "" {
-		file.Note = "Compute-core perf trajectory. 'baseline' is the frozen pre-workspace-refactor " +
-			"measurement; refresh 'current' with: shoggoth-bench -perf. Paper config: 8 epochs, " +
-			"64-sample mini-batches, warm 1500-sample replay memory, UA-DETRAC profile."
+	file.Note = "Compute-core perf trajectory. 'baseline' is the frozen pre-workspace-refactor " +
+		"measurement; refresh everything else with: shoggoth-bench -perf. Paper config: 8 epochs, " +
+		"64-sample mini-batches, warm 1500-sample replay memory, UA-DETRAC profile. " +
+		"'exact_tier'/'fast_tier' are the two compute tiers measured back to back."
+
+	exact := measureTrainTier(nn.Compute{}, 0)
+	fast := measureTrainTier(nn.Compute{Fast: true, Lane: tensor.LaneF64}, 1)
+	file.Exact, file.Fast = &exact, &fast
+	if fast.TrainNsPerStep > 0 {
+		file.SpeedupFastOverExact = round2(exact.TrainNsPerStep / fast.TrainNsPerStep)
 	}
 
-	rec := measurePerf("workspace-buffered compute core")
+	rec := measurePerf("workspace-buffered compute core", exact)
 	file.Current = &rec
+	tb := measureTeacherBatch()
+	file.TeacherBatch = &tb
 	fleet, err := measureFleet()
 	if err != nil {
 		return err
@@ -329,6 +444,9 @@ func runPerf(path string) error {
 	if b := file.Baseline; b != nil {
 		if rec.TrainNsPerStep > 0 {
 			file.SpeedupTrainNsPerStep = round2(b.TrainNsPerStep / rec.TrainNsPerStep)
+		}
+		if fast.TrainNsPerStep > 0 {
+			file.SpeedupFastVsBaseline = round2(b.TrainNsPerStep / fast.TrainNsPerStep)
 		}
 		if rec.InferNsPerFrame > 0 {
 			file.SpeedupInferNsPerOp = round2(b.InferNsPerFrame / rec.InferNsPerFrame)
@@ -346,23 +464,37 @@ func runPerf(path string) error {
 		return err
 	}
 
-	fmt.Printf("perf: train %.0f ns/step (%.0f steps/s), %d allocs/session, %d B/session\n",
-		rec.TrainNsPerStep, rec.TrainStepsPerSec, rec.TrainAllocsPerSession, rec.TrainBytesPerSession)
+	fmt.Printf("perf: exact train %.0f ns/step (%.0f steps/s), %d allocs/session\n",
+		exact.TrainNsPerStep, exact.TrainStepsPerSec, exact.TrainAllocsPerSession)
+	fmt.Printf("perf: fast  train %.0f ns/step (%.0f steps/s), %d allocs/session — %.2fx over exact\n",
+		fast.TrainNsPerStep, fast.TrainStepsPerSec, fast.TrainAllocsPerSession, file.SpeedupFastOverExact)
 	fmt.Printf("perf: infer %.0f ns/frame (%.0f frames/s), %d allocs/frame\n",
 		rec.InferNsPerFrame, rec.InferFramesPerSec, rec.InferAllocsPerOp)
+	fmt.Printf("perf: teacher labeling %.0f -> %.0f ns/frame slab-batched (%.2fx)\n",
+		tb.PerFrameNsPerFrame, tb.BatchedNsPerFrame, tb.Speedup)
 	fmt.Printf("perf: cloud scheduling %.0f ns/batch (fifo), %.0f ns/batch (wfq, contended dispatch)\n",
 		rec.CloudSchedFIFONsPerBatch, rec.CloudSchedWFQNsPerBatch)
 	fmt.Printf("perf: cloud tier routing rr=%.0f ll=%.0f da=%.0f ns/dispatch; teacher batching %.1f -> %.1f batches/busy-sec (%.2fx, %d coalesced forwards)\n",
 		ct.RouterNsPerDispatch["round-robin"], ct.RouterNsPerDispatch["least-loaded"], ct.RouterNsPerDispatch["domain-affinity"],
 		ct.UnbatchedBatchesPerBusySec, ct.BatchedBatchesPerBusySec, ct.BatchingSpeedup, ct.CoalescedForwards)
 	if file.Baseline != nil {
-		fmt.Printf("perf: vs baseline — train %.2fx ns/step, infer %.2fx ns/frame, %.0fx fewer train allocs\n",
-			file.SpeedupTrainNsPerStep, file.SpeedupInferNsPerOp, file.AllocReductionTrain)
+		fmt.Printf("perf: vs baseline — exact %.2fx ns/step, fast %.2fx ns/step, infer %.2fx ns/frame, %.0fx fewer train allocs\n",
+			file.SpeedupTrainNsPerStep, file.SpeedupFastVsBaseline, file.SpeedupInferNsPerOp, file.AllocReductionTrain)
 	}
 	if file.SpeedupFleet10k > 0 {
 		fmt.Printf("perf: fleet event engine %.1fx stepper events/sec at 10k devices\n", file.SpeedupFleet10k)
 	}
 	fmt.Printf("perf: wrote %s\n", path)
+
+	if minFastSpeedup > 0 {
+		if !tensor.FastAccelerated() {
+			fmt.Printf("perf: fast-tier gate skipped (no AVX2+FMA microkernels on this machine)\n")
+		} else if file.SpeedupFastOverExact < minFastSpeedup {
+			return fmt.Errorf("fast tier gate: %.2fx over exact, need >= %.2fx", file.SpeedupFastOverExact, minFastSpeedup)
+		} else {
+			fmt.Printf("perf: fast-tier gate passed (%.2fx >= %.2fx)\n", file.SpeedupFastOverExact, minFastSpeedup)
+		}
+	}
 	return nil
 }
 

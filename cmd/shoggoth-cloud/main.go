@@ -28,6 +28,7 @@ func main() {
 	router := flag.String("router", "", "replica router (round-robin, least-loaded, domain-affinity; empty = round-robin)")
 	admitRate := flag.Float64("admit-rate", 0, "token-bucket admission rate in requests/sec (0 = no admission control)")
 	admitBurst := flag.Float64("admit-burst", 0, "token-bucket burst capacity in requests (<1 clamps to 1)")
+	computeTier := flag.String("compute-tier", "", "teacher math tier: exact (frame-at-a-time, the default) or fast (batched labeling through one label slab; bit-identical output)")
 	flag.Parse()
 
 	profile, err := video.ProfileByName(*profileName)
@@ -37,6 +38,11 @@ func main() {
 	if err := cloud.ValidateRouter(*router); err != nil {
 		log.Fatal(err)
 	}
+	switch *computeTier {
+	case "", "exact", "fast":
+	default:
+		log.Fatalf("unknown -compute-tier %q (want exact or fast)", *computeTier)
+	}
 	srv := rpc.NewServerOpts(profile, *seed, rpc.ServerOptions{
 		QueueCap:        *queueCap,
 		Workers:         *workers,
@@ -44,6 +50,7 @@ func main() {
 		Router:          *router,
 		AdmitRatePerSec: *admitRate,
 		AdmitBurst:      *admitBurst,
+		ComputeTier:     *computeTier,
 	})
 	log.Printf("serving %s labeling + rate control on %s (%d replica(s), queue cap %d, %d workers)",
 		profile.Name, *addr, max(*replicas, 1), *queueCap, *workers)

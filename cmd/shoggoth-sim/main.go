@@ -89,6 +89,9 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
 	list := flag.Bool("list", false, "list registered strategies, profiles, cloud policies and scenarios, then exit")
 	verbose := flag.Bool("v", false, "print a wall-clock perf summary from the per-session workspace counters")
+	computeTier := flag.String("compute-tier", "", "arithmetic tier: exact (frozen, golden-identical; the default) or fast (blocked fast-math kernels, parallel gradient accumulation, batched teacher labeling)")
+	computeLane := flag.String("compute-lane", "", "fast tier arithmetic width: float64 (default) or float32")
+	accumWorkers := flag.Int("accum-workers", 0, "fast tier gradient-accumulation workers (results identical at any value; <=1 runs inline)")
 	flag.Parse()
 
 	if *list {
@@ -151,6 +154,15 @@ func main() {
 		}
 		if *rate > 0 {
 			opts = append(opts, shoggoth.WithFixedRate(*rate))
+		}
+		if *computeTier != "" {
+			opts = append(opts, shoggoth.WithComputeTier(*computeTier))
+		}
+		if *computeLane != "" {
+			opts = append(opts, shoggoth.WithComputeLane(*computeLane))
+		}
+		if *accumWorkers > 0 {
+			opts = append(opts, shoggoth.WithAccumWorkers(*accumWorkers))
 		}
 		return opts
 	}

@@ -49,7 +49,34 @@ type LabelResult struct {
 // LabelFrame labels a frame and computes φ against the previous labeled
 // frame of this device.
 func (l *Labeler) LabelFrame(f *video.Frame) LabelResult {
-	labels := l.Teacher.Label(f)
+	return l.finishFrame(f, l.Teacher.Label(f))
+}
+
+// LabelBatch labels a batch of frames through one shared label slab sized to
+// the batch's total proposal count: the fast tier's batched teacher
+// inference. Per-frame label content, RNG draw order and the φ chain are
+// identical to calling LabelFrame once per frame in order — only the
+// allocation pattern changes (one slab instead of one slice per frame), so
+// batch results are bit-identical to the per-frame path.
+func (l *Labeler) LabelBatch(frames []*video.Frame) []LabelResult {
+	total := 0
+	for _, f := range frames {
+		total += len(f.Proposals)
+	}
+	slab := make([]detect.TeacherLabel, 0, total)
+	out := make([]LabelResult, len(frames))
+	for i, f := range frames {
+		start := len(slab)
+		slab = l.Teacher.LabelAppend(slab, f)
+		out[i] = l.finishFrame(f, slab[start:len(slab):len(slab)])
+	}
+	return out
+}
+
+// finishFrame computes φ for a freshly labeled frame and rolls the device's
+// previous-frame state forward. Shared by the per-frame and batched paths so
+// the φ chain cannot diverge between them.
+func (l *Labeler) finishFrame(f *video.Frame, labels []detect.TeacherLabel) LabelResult {
 	res := LabelResult{Labels: labels, ServiceSec: l.Config.TeacherLatencySec}
 	boxes := make(map[int]geom.Box, len(f.Proposals))
 	for i, pr := range f.Proposals {

@@ -14,6 +14,8 @@ import (
 	"shoggoth/internal/detect"
 	"shoggoth/internal/edge"
 	"shoggoth/internal/netsim"
+	"shoggoth/internal/nn"
+	"shoggoth/internal/tensor"
 	"shoggoth/internal/video"
 )
 
@@ -99,6 +101,22 @@ type Config struct {
 	// SLOClass names this device's service-level class for the cloud
 	// tier's per-class latency/drop metrics. Empty means "standard".
 	SLOClass string
+
+	// ComputeTier selects the arithmetic tier the run's models execute on:
+	// "" or "exact" is the frozen default (float64 op order bit-identical
+	// to the golden captures); "fast" switches edge training to the blocked
+	// fast-math kernels with parallel gradient accumulation and cloud
+	// labeling to batched teacher inference (tolerance-bounded on losses,
+	// byte-deterministic — see DESIGN.md §13).
+	ComputeTier string
+	// ComputeLane selects the fast tier's arithmetic width: "" or
+	// "float64" (default) or "float32". Ignored on the exact tier.
+	ComputeLane string
+	// ComputeAccumWorkers is how many workers execute the fast tier's
+	// fixed gradient-accumulation shards (values ≤ 1 run them inline).
+	// Results are byte-identical for every value; this knob trades cores
+	// for wall-clock only.
+	ComputeAccumWorkers int
 
 	// SampleRate fixes the frame sampling rate (fps). 0 means adaptive
 	// (the cloud controller drives it). Prompt uses the fixed maximum
@@ -246,6 +264,17 @@ func (c *Config) Validate() error {
 	if c.UplinkCell < 0 {
 		return fmt.Errorf("core: negative uplink cell id %d", c.UplinkCell)
 	}
+	switch c.ComputeTier {
+	case "", "exact", "fast":
+	default:
+		return fmt.Errorf("core: unknown compute tier %q (want exact or fast)", c.ComputeTier)
+	}
+	if _, err := tensor.ParseLane(c.ComputeLane); err != nil {
+		return err
+	}
+	if c.ComputeAccumWorkers < 0 {
+		return fmt.Errorf("core: negative accumulation worker count %d", c.ComputeAccumWorkers)
+	}
 	if err := cloud.ValidatePolicy(c.CloudPolicy); err != nil {
 		return err
 	}
@@ -303,6 +332,17 @@ func (c *Config) cloudTier() bool {
 		c.CloudCoalesce >= 2 || c.CloudColdStartSec > 0
 }
 
+// Compute resolves the compute-tier knobs into the kernel descriptor
+// trainers and students run on. Only meaningful after Validate; an invalid
+// lane falls back to float64 here (Validate already rejected it).
+func (c *Config) Compute() nn.Compute {
+	if c.ComputeTier != "fast" {
+		return nn.Compute{}
+	}
+	lane, _ := tensor.ParseLane(c.ComputeLane)
+	return nn.Compute{Fast: true, Lane: lane}
+}
+
 // CloudTierConfig assembles the cloud.TierConfig this config's knobs
 // describe (shared by the private-run path and Cluster's scenario
 // inheritance).
@@ -311,10 +351,11 @@ func (c *Config) CloudTierConfig() cloud.TierConfig {
 		Replicas: c.CloudReplicas,
 		Router:   c.CloudRouter,
 		Service: cloud.ServiceConfig{
-			QueueCap: c.CloudQueueCap,
-			Policy:   c.CloudPolicy,
-			Workers:  c.CloudWorkers,
-			Coalesce: c.CloudCoalesce,
+			QueueCap:    c.CloudQueueCap,
+			Policy:      c.CloudPolicy,
+			Workers:     c.CloudWorkers,
+			Coalesce:    c.CloudCoalesce,
+			ComputeTier: c.ComputeTier,
 		},
 		AdmitRatePerSec: c.CloudAdmitRate,
 		AdmitBurst:      c.CloudAdmitBurst,

@@ -124,6 +124,16 @@ func NewSystemOpts(cfg Config, opts SystemOptions) (*System, error) {
 		return nil, err
 	}
 	desc, _ := Lookup(cfg.Kind) // Validate rejected unregistered kinds
+	// Resolve the compute tier once: Trainer carries it to every strategy's
+	// trainer, the deployed student's inference kernels match it, and the
+	// workspace advertises it to diagnostics. Explicit Trainer knobs win
+	// when the top-level tier fields are unset.
+	if cfg.ComputeTier != "" {
+		cfg.Trainer.Compute = cfg.Compute()
+	}
+	if cfg.ComputeAccumWorkers != 0 {
+		cfg.Trainer.AccumWorkers = cfg.ComputeAccumWorkers
+	}
 	sched := opts.Scheduler
 	if sched == nil {
 		sched = sim.NewScheduler()
@@ -133,7 +143,7 @@ func NewSystemOpts(cfg Config, opts SystemOptions) (*System, error) {
 		rng:       rand.New(rand.NewPCG(cfg.Seed, RNGStreamRun)),
 		sched:     sched,
 		collector: metrics.NewCollector(),
-		ws:        newWorkspace(cfg.PerfClock),
+		ws:        newWorkspace(cfg.PerfClock, cfg.Trainer.Compute),
 		fleet:     cfg.Fidelity == FidelityEvents,
 		uploads:   desc.Traits.Uploads,
 	}
@@ -166,9 +176,10 @@ func NewSystemOpts(cfg Config, opts SystemOptions) (*System, error) {
 			s.cloudSvc = tier
 		} else {
 			svc := cloud.NewService(cloud.ServiceConfig{
-				QueueCap: cfg.CloudQueueCap,
-				Policy:   cfg.CloudPolicy,
-				Workers:  cfg.CloudWorkers,
+				QueueCap:    cfg.CloudQueueCap,
+				Policy:      cfg.CloudPolicy,
+				Workers:     cfg.CloudWorkers,
+				ComputeTier: cfg.ComputeTier,
 			})
 			svc.Bind(sched)
 			s.cloudSvc = svc
@@ -190,6 +201,10 @@ func NewSystemOpts(cfg Config, opts SystemOptions) (*System, error) {
 		} else {
 			s.student = detect.DefaultPretrainedStudent(cfg.Profile)
 		}
+		// Pretraining always runs exact; the deployed model infers on the
+		// configured tier (NewTrainer re-applies the same tier for training
+		// strategies, so this also covers student-less inference paths).
+		s.student.SetCompute(cfg.Trainer.Compute)
 	}
 
 	rate := cfg.SampleRate

@@ -2,6 +2,7 @@ package core
 
 import (
 	"shoggoth/internal/detect"
+	"shoggoth/internal/nn"
 	"shoggoth/internal/tensor"
 )
 
@@ -19,11 +20,14 @@ import (
 type Workspace struct {
 	Pool *tensor.Pool
 	Perf *detect.PerfCounters
+	// Compute is the session's resolved kernel tier (read-only descriptor
+	// for diagnostics and harnesses; the zero value is the exact tier).
+	Compute nn.Compute
 }
 
 // newWorkspace creates an empty per-session workspace. clock, usually nil,
 // is the injected perf timestamp source (Config.PerfClock): nil keeps the
 // sim path free of machine-clock reads and the duration counters at zero.
-func newWorkspace(clock func() float64) *Workspace {
-	return &Workspace{Pool: tensor.NewPool(), Perf: &detect.PerfCounters{Clock: clock}}
+func newWorkspace(clock func() float64, compute nn.Compute) *Workspace {
+	return &Workspace{Pool: tensor.NewPool(), Perf: &detect.PerfCounters{Clock: clock}, Compute: compute}
 }

@@ -1,0 +1,217 @@
+package detect
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"shoggoth/internal/nn"
+	"shoggoth/internal/tensor"
+)
+
+// accumShards is the FIXED shard count of the fast tier's parallel minibatch
+// gradient accumulation. A mini-batch always splits into this many contiguous
+// row shards no matter how many workers execute them, and shard gradients
+// reduce single-threaded in a fixed pairwise tree over shard indices, so
+// training is byte-identical for every AccumWorkers value: 1 worker and 8
+// workers perform the exact same float64 additions in the exact same order.
+const accumShards = 8
+
+// shardState owns the fast tier's shard machinery: per-shard shadow networks
+// (shared Param.Value, private Grad and scratch — see nn.Sequential.
+// ShadowClone), per-shard loss scratch, pinned input/target views over the
+// trainer's concat buffers, and the index-aligned parameter lists the tree
+// reduction walks. Built lazily on the first eligible step; placements whose
+// tail contains batch-statistics layers mark ok=false and the trainer falls
+// back to the serial path (still on fast kernels).
+type shardState struct {
+	ok bool
+
+	// dropDx marks the placement where the shard heads sit directly on an
+	// empty tail with a frozen front: their input gradients have no
+	// consumer, so the shadow heads skip the dx matmuls entirely.
+	dropDx bool
+
+	tail [accumShards]*nn.Sequential
+	cls  [accumShards]*nn.Sequential
+	box  [accumShards]*nn.Sequential
+	loss [accumShards]nn.LossScratch
+
+	// Pinned row-range views over the trainer's concat/boxT buffers,
+	// re-pointed in place each step.
+	xv, tv [accumShards]tensor.Matrix
+
+	shadow  [accumShards][]*nn.Param // shard r's tail+head params
+	primary []*nn.Param              // index-aligned primary params; doubles as the build-once marker
+
+	clsSum, boxSum [accumShards]float64
+}
+
+// buildShards constructs the shard state once per trainer. sh.primary is the
+// build-once marker: it is left non-nil (empty) even when the placement
+// cannot shard, so failed builds are not retried every step.
+func (t *Trainer) buildShards(split int) {
+	sh := &t.shards
+	if sh.primary == nil {
+		s := t.Student
+		sh.ok = true
+		for r := 0; r < accumShards; r++ {
+			tail, ok1 := s.Backbone.ShadowCloneRange(split, s.Backbone.Len())
+			cls, ok2 := s.ClassHead.ShadowClone()
+			box, ok3 := s.BoxHead.ShadowClone()
+			if !(ok1 && ok2 && ok3) {
+				sh.ok = false
+				break
+			}
+			sh.tail[r], sh.cls[r], sh.box[r] = tail, cls, box
+			_, clsDense := cls.Layer(0).(*nn.Dense)
+			_, boxDense := box.Layer(0).(*nn.Dense)
+			if tail.Len() == 0 && clsDense && boxDense {
+				sh.dropDx = true
+				cls.Layer(0).(*nn.Dense).SetSkipInputGrad(true)
+				box.Layer(0).(*nn.Dense).SetSkipInputGrad(true)
+			}
+			ps := tail.Params()
+			ps = append(ps, cls.Params()...)
+			ps = append(ps, box.Params()...)
+			sh.shadow[r] = ps
+		}
+		sh.primary = []*nn.Param{}
+		if sh.ok {
+			sh.primary = append(sh.primary, s.Backbone.ParamsRange(split, s.Backbone.Len())...)
+			sh.primary = append(sh.primary, s.ClassHead.Params()...)
+			sh.primary = append(sh.primary, s.BoxHead.Params()...)
+		}
+	}
+}
+
+// shardedStep runs one fast-tier training step over the assembled mini-batch:
+// all accumShards row shards forward/backward through their shadow networks
+// (concurrently when AccumWorkers > 1), then a single-threaded pairwise tree
+// reduction folds shard gradients into the primary parameters. Returns the
+// class and box losses scaled exactly as the serial losses are.
+//
+//shoggoth:hotpath
+func (t *Trainer) shardedStep(concat *tensor.Matrix, labels []int, boxT *tensor.Matrix, mask []bool) (lossC, lossB float64) {
+	sh := &t.shards
+	// Global normalisers: every shard divides by the WHOLE mini-batch's row
+	// and active counts, so per-row gradients are independent of sharding.
+	invB := 1 / float64(concat.Rows)
+	active := 0
+	for _, m := range mask {
+		if m {
+			active++
+		}
+	}
+	// Single assignment keeps invL1 capturable by value in the worker
+	// closure below; a mutated capture would be moved to the heap and cost
+	// one allocation per step even on the inline path.
+	invL1 := smoothL1Inv(active, boxT.Cols)
+
+	workers := t.Config.AccumWorkers
+	if workers > accumShards {
+		workers = accumShards
+	}
+	if workers <= 1 {
+		for r := 0; r < accumShards; r++ {
+			t.runShard(r, concat, labels, boxT, mask, invB, invL1)
+		}
+	} else {
+		// Work-stealing over shard indices. Which worker executes which
+		// shard is scheduling-dependent; the results are not, because every
+		// shard writes only shard-private state.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					r := int(next.Add(1)) - 1
+					if r >= accumShards {
+						return
+					}
+					t.runShard(r, concat, labels, boxT, mask, invB, invL1)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Pairwise tree reduction in shard-index order:
+	// ((0+1)+(2+3)) + ((4+5)+(6+7)) — single-threaded, so the float64
+	// addition order is a function of the shard count alone, never of the
+	// worker count or goroutine scheduling.
+	for stride := 1; stride < accumShards; stride *= 2 {
+		for i := 0; i+stride < accumShards; i += 2 * stride {
+			for p := range sh.shadow[i] {
+				tensor.AddInPlace(sh.shadow[i][p].Grad, sh.shadow[i+stride][p].Grad)
+			}
+			sh.clsSum[i] += sh.clsSum[i+stride]
+			sh.boxSum[i] += sh.boxSum[i+stride]
+		}
+	}
+	for p, prim := range sh.primary {
+		tensor.AddInPlace(prim.Grad, sh.shadow[0][p].Grad)
+	}
+	for r := 0; r < accumShards; r++ {
+		for _, p := range sh.shadow[r] {
+			p.Grad.Zero()
+		}
+	}
+	return sh.clsSum[0] * invB, sh.boxSum[0] * invL1
+}
+
+// smoothL1Inv returns the global SmoothL1 gradient normaliser over the whole
+// mini-batch, 0 when no row has a box target (see nn.SmoothL1Shard).
+func smoothL1Inv(active, cols int) float64 {
+	if active == 0 {
+		return 0
+	}
+	return 1 / float64(active*cols)
+}
+
+// runShard forwards/backwards one contiguous row shard through its shadow
+// networks. Safe to run concurrently with sibling shards: shards read only
+// shared-immutable state (parameter values, the concat/label/target buffers)
+// and write only shard-private scratch and their own sum slots.
+//
+//shoggoth:hotpath
+func (t *Trainer) runShard(r int, concat *tensor.Matrix, labels []int, boxT *tensor.Matrix, mask []bool, invB, invL1 float64) {
+	sh := &t.shards
+	lo := r * concat.Rows / accumShards
+	hi := (r + 1) * concat.Rows / accumShards
+	if lo == hi {
+		sh.clsSum[r], sh.boxSum[r] = 0, 0
+		return
+	}
+	xv := &sh.xv[r]
+	xv.Rows, xv.Cols = hi-lo, concat.Cols
+	xv.Data = concat.Data[lo*concat.Cols : hi*concat.Cols]
+	tv := &sh.tv[r]
+	tv.Rows, tv.Cols = hi-lo, boxT.Cols
+	tv.Data = boxT.Data[lo*boxT.Cols : hi*boxT.Cols]
+
+	z := sh.tail[r].Forward(xv, true)
+	logits := sh.cls[r].Forward(z, true)
+	offsets := sh.box[r].Forward(z, true)
+	cLoss, gLogits := sh.loss[r].SoftmaxCrossEntropyShard(logits, labels[lo:hi], invB)
+	bLoss, gOffsets := sh.loss[r].SmoothL1Shard(offsets, tv, mask[lo:hi], invL1)
+	sh.clsSum[r], sh.boxSum[r] = cLoss, bLoss
+
+	if sh.dropDx {
+		// Empty tail, frozen front: nothing consumes the heads' input
+		// gradients, so the shadow heads only accumulate parameter grads.
+		sh.cls[r].Backward(gLogits)
+		if w := t.Config.BoxLossWeight; w != 0 {
+			gOffsets.ScaleInPlace(w)
+			sh.box[r].Backward(gOffsets)
+		}
+		return
+	}
+	gz := sh.cls[r].Backward(gLogits)
+	if w := t.Config.BoxLossWeight; w != 0 {
+		gOffsets.ScaleInPlace(w)
+		tensor.AddInPlace(gz, sh.box[r].Backward(gOffsets))
+	}
+	sh.tail[r].Backward(gz)
+}

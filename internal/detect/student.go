@@ -219,6 +219,14 @@ func (s *Student) Clone() *Student {
 	}
 }
 
+// SetCompute switches every tier-aware layer of the student's networks (see
+// nn.Compute). Clones revert to the exact tier until their owner calls this.
+func (s *Student) SetCompute(c nn.Compute) {
+	s.Backbone.SetCompute(c)
+	s.ClassHead.SetCompute(c)
+	s.BoxHead.SetCompute(c)
+}
+
 // CopyWeightsFrom copies all weights and normalisation statistics from src.
 func (s *Student) CopyWeightsFrom(src *Student) {
 	s.Backbone.CopyWeightsFrom(src.Backbone)

@@ -48,10 +48,19 @@ func NewTeacher(p *video.Profile, rng *rand.Rand) *Teacher {
 
 // Label produces online labels for every proposal of the frame.
 func (t *Teacher) Label(f *video.Frame) []TeacherLabel {
+	return t.LabelAppend(make([]TeacherLabel, 0, len(f.Proposals)), f)
+}
+
+// LabelAppend appends the frame's labels to dst and returns the extended
+// slice. It is the allocation-free form of Label for batched labeling: the
+// caller provides one slab for many frames and slices out each frame's
+// labels. Per-proposal work (including the order of RNG draws) is identical
+// to Label, so batch labeling is bit-identical to frame-at-a-time labeling.
+func (t *Teacher) LabelAppend(dst []TeacherLabel, f *video.Frame) []TeacherLabel {
 	p := t.profile
 	bg := p.BackgroundClass()
 	bucket := int64(f.Time / errBucketSec)
-	out := make([]TeacherLabel, 0, len(f.Proposals))
+	out := dst
 	for i, pr := range f.Proposals {
 		if pr.GT != nil {
 			if t.hash01(pr.TrackID, bucket, 1) < p.TeacherMissRate {

@@ -26,3 +26,20 @@ func Ensure(dst *Matrix, r, c int) {}
 
 // At reads one element.
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Lane selects the fast kernels' arithmetic width (stub of the real Lane).
+type Lane int
+
+// The two lanes of the fast tier.
+const (
+	LaneF64 Lane = iota
+	LaneF32
+)
+
+// FastScratch pins the fast kernels' conversion buffers.
+type FastScratch struct {
+	A32 []float32
+}
+
+// FastMulInto is the fast tier's destination-passing matmul — always legal.
+func FastMulInto(dst, a, b *Matrix, lane Lane, ws *FastScratch) {}

@@ -4,29 +4,40 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 )
 
-// snapshot is the gob wire format for network weights: parameter name →
-// flattened values. Normalisation running statistics are stored under
-// synthetic names so a deserialised model is inference-ready.
+// weightRec is one named flat parameter vector of the wire format.
+type weightRec struct {
+	Name string
+	Vals []float64
+}
+
+// snapshot is the gob wire format for network weights: name-sorted parameter
+// vectors. Normalisation running statistics are stored under synthetic names
+// so a deserialised model is inference-ready. A sorted slice (not a map,
+// whose gob encoding order is randomised) keeps serialisation
+// byte-deterministic: equal weights always marshal to equal bytes, which the
+// fast tier's determinism tests compare directly.
 type snapshot struct {
-	Params map[string][]float64
+	Params []weightRec
 }
 
 // MarshalWeights serialises all parameters and normalisation statistics of
-// the network. The byte size of the result is also what the AMS baseline
-// pays in downlink bandwidth for every model update.
+// the network, byte-deterministically. The byte size of the result is also
+// what the AMS baseline pays in downlink bandwidth for every model update.
 func (s *Sequential) MarshalWeights() ([]byte, error) {
-	snap := snapshot{Params: make(map[string][]float64)}
+	var snap snapshot
 	for _, p := range s.Params() {
-		snap.Params[p.Name] = append([]float64(nil), p.Value.Data...)
+		snap.Params = append(snap.Params, weightRec{p.Name, append([]float64(nil), p.Value.Data...)})
 	}
 	for _, l := range s.LayersList {
 		if bn := asNorm(l); bn != nil {
-			snap.Params[bn.name+".runMean"] = append([]float64(nil), bn.RunMean.Data...)
-			snap.Params[bn.name+".runVar"] = append([]float64(nil), bn.RunVar.Data...)
+			snap.Params = append(snap.Params, weightRec{bn.name + ".runMean", append([]float64(nil), bn.RunMean.Data...)})
+			snap.Params = append(snap.Params, weightRec{bn.name + ".runVar", append([]float64(nil), bn.RunVar.Data...)})
 		}
 	}
+	sort.Slice(snap.Params, func(i, j int) bool { return snap.Params[i].Name < snap.Params[j].Name })
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		return nil, fmt.Errorf("nn: marshal weights: %w", err)
@@ -41,8 +52,12 @@ func (s *Sequential) UnmarshalWeights(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return fmt.Errorf("nn: unmarshal weights: %w", err)
 	}
+	byName := make(map[string][]float64, len(snap.Params))
+	for _, r := range snap.Params {
+		byName[r.Name] = r.Vals
+	}
 	for _, p := range s.Params() {
-		vals, ok := snap.Params[p.Name]
+		vals, ok := byName[p.Name]
 		if !ok {
 			return fmt.Errorf("nn: snapshot missing parameter %q", p.Name)
 		}
@@ -53,10 +68,10 @@ func (s *Sequential) UnmarshalWeights(data []byte) error {
 	}
 	for _, l := range s.LayersList {
 		if bn := asNorm(l); bn != nil {
-			if vals, ok := snap.Params[bn.name+".runMean"]; ok && len(vals) == len(bn.RunMean.Data) {
+			if vals, ok := byName[bn.name+".runMean"]; ok && len(vals) == len(bn.RunMean.Data) {
 				copy(bn.RunMean.Data, vals)
 			}
-			if vals, ok := snap.Params[bn.name+".runVar"]; ok && len(vals) == len(bn.RunVar.Data) {
+			if vals, ok := byName[bn.name+".runVar"]; ok && len(vals) == len(bn.RunVar.Data) {
 				copy(bn.RunVar.Data, vals)
 			}
 		}

@@ -37,6 +37,10 @@ type ServerOptions struct {
 	AdmitRatePerSec float64
 	// AdmitBurst is the bucket's burst capacity (< 1 clamps to 1).
 	AdmitBurst float64
+	// ComputeTier selects the teacher's math tier ("" or "exact" labels
+	// frame-at-a-time; "fast" batches each request through one label
+	// slab). Bit-identical outputs either way — see cloud.ServiceConfig.
+	ComputeTier string
 }
 
 // Server is the cloud side: the same cloud.Tier routing-and-scheduling
@@ -88,8 +92,9 @@ func NewServerOpts(p *video.Profile, seed uint64, opts ServerOptions) *Server {
 			Replicas: opts.Replicas,
 			Router:   opts.Router,
 			Service: cloud.ServiceConfig{
-				QueueCap: opts.QueueCap,
-				Workers:  opts.Workers,
+				QueueCap:    opts.QueueCap,
+				Workers:     opts.Workers,
+				ComputeTier: opts.ComputeTier,
 			},
 			AdmitRatePerSec: opts.AdmitRatePerSec,
 			AdmitBurst:      opts.AdmitBurst,

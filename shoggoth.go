@@ -202,4 +202,10 @@ var (
 	// WithFidelity selects the simulation fidelity (FidelityFull or
 	// FidelityEvents).
 	WithFidelity = strategy.WithFidelity
+	// WithComputeTier selects the arithmetic tier ("exact" or "fast").
+	WithComputeTier = strategy.WithComputeTier
+	// WithComputeLane selects the fast tier's width ("float64"/"float32").
+	WithComputeLane = strategy.WithComputeLane
+	// WithAccumWorkers sets the fast tier's accumulation worker count.
+	WithAccumWorkers = strategy.WithAccumWorkers
 )
