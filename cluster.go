@@ -31,12 +31,33 @@ type EngineInfo struct {
 	Epochs int64 `json:"epochs"`
 }
 
+// EnginePhases is a wall-clock breakdown of where an event-engine run spent
+// its time: advancing device shards, merging their outboxes into the shared
+// heap, and executing the serial shared phase. Diagnostics only — filled
+// from Config.PerfClock when Cluster.Phases is set, never part of the
+// deterministic results.
+type EnginePhases struct {
+	AdvanceSec float64 `json:"advance_sec"`
+	MergeSec   float64 `json:"merge_sec"`
+	SerialSec  float64 `json:"serial_sec"`
+}
+
 // ClusterResults aggregates an N-device shared-cloud run: one Results per
-// device (in device order, each carrying its own queue-delay metrics) plus
-// the service-wide queue statistics.
+// device (in device order, each carrying its own queue-delay metrics), the
+// streaming fleet-wide aggregate, plus the service-wide queue statistics.
 type ClusterResults struct {
-	Devices []*Results `json:"devices"`
-	Cloud   CloudStats `json:"cloud"`
+	// Devices holds per-device results in device order; nil when the run
+	// used Cluster.AggregateOnly (the memory-sane mode at 1M devices).
+	Devices []*Results `json:"devices,omitempty"`
+	// Fleet is the single-pass Welford aggregate over every device, folded
+	// in device-index order as devices finish — O(1) state per metric, no
+	// per-device intermediate slices however large the fleet.
+	Fleet *FleetAggregate `json:"fleet,omitempty"`
+	// Sampled carries the sampled-fidelity estimator (subset accuracy
+	// extrapolated to the fleet with a bootstrap error bound); nil unless
+	// the run used core.FidelitySampled.
+	Sampled *SampledStats `json:"sampled,omitempty"`
+	Cloud   CloudStats    `json:"cloud"`
 	// Engine carries event-engine telemetry; nil under the legacy
 	// frame-step core.
 	Engine *EngineInfo `json:"engine,omitempty"`
@@ -49,6 +70,9 @@ type ClusterResults struct {
 // backlog remained when the run ended.
 func (r *ClusterResults) Utilization() float64 {
 	var end float64
+	if r.Fleet != nil {
+		end = r.Fleet.DurationSec
+	}
 	for _, d := range r.Devices {
 		if d.Duration > end {
 			end = d.Duration
@@ -139,6 +163,15 @@ type Cluster struct {
 	// (wall-clock inference and training throughput) after the run —
 	// diagnostics only, never part of Results.
 	Perf *PerfCounters
+	// AggregateOnly drops the per-device Results slice from ClusterResults,
+	// leaving the streaming Fleet aggregate (plus cloud/engine blocks). At
+	// 1M devices a million Results structs and their JSON dwarf the
+	// reduction they feed; this is the memory-sane mode at that scale.
+	AggregateOnly bool
+	// Phases, when set, receives the event engine's wall-clock phase
+	// breakdown after the run, timed with the devices' Config.PerfClock
+	// (the sanctioned injected wall clock). Diagnostics only.
+	Phases *EnginePhases
 
 	own StudentCache
 }
@@ -236,10 +269,31 @@ func (u *cellUplink) Send(bytes int, start float64, deliver func(now float64)) {
 // outbox per device; the sim.Engine interleaving them under the global
 // (time, device index, seq) order.
 func (c *Cluster) runEvents(ctx context.Context, cfgs []Config, cache *StudentCache) (*ClusterResults, error) {
+	sampled, chosen, frac, sampleSeed, err := resolveSampled(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	if sampled {
+		// Rewrite a private copy: the chosen subset runs full fidelity
+		// inside the events-fidelity fleet, and the caller's configs stay
+		// untouched.
+		cfgs = append([]Config(nil), cfgs...)
+		for i := range cfgs {
+			if chosen[i] {
+				cfgs[i].Fidelity = core.FidelityFull
+			} else {
+				cfgs[i].Fidelity = core.FidelityEvents
+			}
+		}
+	}
+
 	shared := sim.NewScheduler()
 	tier := cloud.NewTier(c.tierConfig(cfgs))
 	tier.Bind(shared)
 	eng := sim.NewEngine(shared, c.EngineWorkers)
+	if c.Phases != nil && cfgs[0].PerfClock != nil {
+		eng.SetClock(cfgs[0].PerfClock)
+	}
 
 	mediums := make(map[int]*netsim.SharedMedium)
 	systems := make([]*core.System, len(cfgs))
@@ -286,19 +340,101 @@ func (c *Cluster) runEvents(ctx context.Context, cfgs []Config, cache *StudentCa
 		return nil, err
 	}
 
-	out := &ClusterResults{Devices: make([]*Results, len(systems))}
+	out := &ClusterResults{}
+	if !c.AggregateOnly {
+		out.Devices = make([]*Results, len(systems))
+	}
 	info := &EngineInfo{Epochs: eng.Epochs()}
+	var fold fleetFold
+	var sampMap50, sampIoU []float64
+	if sampled {
+		k := countTrue(chosen)
+		sampMap50 = make([]float64, 0, k)
+		sampIoU = make([]float64, 0, k)
+	}
 	for i, sys := range systems {
-		out.Devices[i] = sys.Finish()
+		r := sys.Finish()
+		if out.Devices != nil {
+			out.Devices[i] = r
+		}
 		if c.Perf != nil {
 			c.Perf.Add(sys.Workspace().Perf)
 		}
-		info.Events += locals[i].Executed() + int64(out.Devices[i].FramesTotal)
+		fold.add(r, cfgs[i].Fidelity != core.FidelityEvents)
+		if sampled && chosen[i] {
+			sampMap50 = append(sampMap50, r.MAP50)
+			sampIoU = append(sampIoU, r.AvgIoU)
+		}
+		info.Events += locals[i].Executed() + int64(r.FramesTotal)
 	}
 	info.Events += shared.Executed()
 	out.Engine = info
+	out.Fleet = fold.aggregate()
 	out.Cloud = tier.TierStats()
+	if sampled {
+		out.Sampled = newSampledStats(frac, sampleSeed, len(cfgs), sampMap50, sampIoU)
+	}
+	if c.Phases != nil {
+		a, m, s := eng.PhaseSeconds()
+		*c.Phases = EnginePhases{AdvanceSec: a, MergeSec: m, SerialSec: s}
+	}
 	return out, nil
+}
+
+// resolveSampled detects core.FidelitySampled across a fleet's configs and,
+// if present, validates its fleet-wide invariants and draws the seeded
+// full-fidelity subset. Sampled fidelity is a fleet-level mode: every
+// device must carry it with one agreed (frac, seed) pair, because the
+// subset draw is a single decision over the whole device index space.
+func resolveSampled(cfgs []Config) (sampled bool, chosen []bool, frac float64, seed uint64, err error) {
+	for i := range cfgs {
+		if cfgs[i].Fidelity == core.FidelitySampled {
+			sampled = true
+			break
+		}
+	}
+	if !sampled {
+		return false, nil, 0, 0, nil
+	}
+	for i := range cfgs {
+		if cfgs[i].Fidelity != core.FidelitySampled {
+			return false, nil, 0, 0, fmt.Errorf("shoggoth: sampled fidelity is fleet-wide: device %d has fidelity %q, want %q on every device",
+				i, cfgs[i].Fidelity, core.FidelitySampled)
+		}
+		if cfgs[i].SampledFrac != cfgs[0].SampledFrac || cfgs[i].SampledSeed != cfgs[0].SampledSeed {
+			return false, nil, 0, 0, fmt.Errorf("shoggoth: sampled fidelity needs one fleet-wide (frac, seed): device %d has (%g, %d), device 0 has (%g, %d)",
+				i, cfgs[i].SampledFrac, cfgs[i].SampledSeed, cfgs[0].SampledFrac, cfgs[0].SampledSeed)
+		}
+	}
+	frac = cfgs[0].SampledFrac
+	if frac == 0 {
+		frac = core.DefaultSampledFrac
+	}
+	if frac < 0 || frac > 1 {
+		return false, nil, 0, 0, fmt.Errorf("shoggoth: sampled fraction %g out of range (0, 1]", frac)
+	}
+	seed = cfgs[0].SampledSeed
+	if seed == 0 {
+		seed = cfgs[0].Seed
+	}
+	k := int(frac*float64(len(cfgs)) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(cfgs) {
+		k = len(cfgs)
+	}
+	return true, sampledSubset(len(cfgs), k, seed), frac, seed, nil
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
 }
 
 // runFrameStep is the legacy core: every device on ONE scheduler, stepped
@@ -308,6 +444,12 @@ func (c *Cluster) runEvents(ctx context.Context, cfgs []Config, cache *StudentCa
 // along the way. O(N) per frame — it exists as the differential oracle the
 // event engine is checked against.
 func (c *Cluster) runFrameStep(ctx context.Context, cfgs []Config, cache *StudentCache) (*ClusterResults, error) {
+	for i := range cfgs {
+		if cfgs[i].Fidelity == core.FidelitySampled {
+			return nil, fmt.Errorf("shoggoth: cluster device %d: fidelity %q needs the event engine (Cluster.Engine %q)",
+				i, core.FidelitySampled, EngineEvent)
+		}
+	}
 	sched := sim.NewScheduler()
 	tier := cloud.NewTier(c.tierConfig(cfgs))
 	tier.Bind(sched)
@@ -347,13 +489,22 @@ func (c *Cluster) runFrameStep(ctx context.Context, cfgs []Config, cache *Studen
 		sessions[best].Step()
 	}
 
-	out := &ClusterResults{Devices: make([]*Results, len(sessions))}
+	out := &ClusterResults{}
+	if !c.AggregateOnly {
+		out.Devices = make([]*Results, len(sessions))
+	}
+	var fold fleetFold
 	for i, sys := range sessions {
-		out.Devices[i] = sys.Finish()
+		r := sys.Finish()
+		if out.Devices != nil {
+			out.Devices[i] = r
+		}
 		if c.Perf != nil {
 			c.Perf.Add(sys.Workspace().Perf)
 		}
+		fold.add(r, cfgs[i].Fidelity != core.FidelityEvents)
 	}
+	out.Fleet = fold.aggregate()
 	out.Cloud = tier.TierStats()
 	return out, nil
 }

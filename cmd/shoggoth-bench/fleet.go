@@ -2,7 +2,9 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 	"time"
 
 	"shoggoth"
@@ -99,6 +101,150 @@ func measureFleet() ([]FleetPerfRecord, error) {
 		}
 	}
 	return out, nil
+}
+
+// serialMergeBaseline100k freezes the 100k-device event-engine throughput
+// (events/sec) measured before the hierarchical outbox merge and analytic
+// cloud costing landed — the serial device-index drain with an executed
+// teacher, the best the engine could then do on this workload. The
+// recomputed speedup in BENCH_core.json compares the capped fleet-scale
+// operating point (measureFleetCapped) against this constant, so the
+// rebuild's gain can never silently go stale.
+const serialMergeBaseline100k = 605_994.53
+
+// Fleet1MPerfRecord is one capped operating-point measurement: a rush-hour
+// cluster at events fidelity in AggregateOnly mode with a capped teacher
+// queue. The -perf million-device run additionally records the engine's
+// wall-clock phase split so the merge tree's share of the run is visible
+// in the trajectory; the 100k acceptance record and the CI smoke reuse the
+// same shape without phases.
+type Fleet1MPerfRecord struct {
+	Devices      int     `json:"devices"`
+	VirtualSec   float64 `json:"virtual_sec"`
+	WallSec      float64 `json:"wall_sec"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Phase split in wall seconds, and the merge phase's share of the three.
+	// Only the -perf 1M run wires the perf clock; the CI smoke leaves these out.
+	AdvanceSec      float64 `json:"advance_sec,omitempty"`
+	MergeSec        float64 `json:"merge_sec,omitempty"`
+	SerialSec       float64 `json:"serial_sec,omitempty"`
+	MergePhaseShare float64 `json:"merge_phase_share,omitempty"`
+}
+
+// fleetCluster builds the canonical fleet-scale measurement cluster: rush
+// hour at events fidelity, uploads flushed inside the horizon, teacher queue
+// capped so pending state stays O(cap) at any fleet size.
+func fleetCluster(devices int, cycles float64) ([]shoggoth.Config, *shoggoth.Cluster, error) {
+	sc, err := shoggoth.ScenarioByName("rush-hour")
+	if err != nil {
+		return nil, nil, err
+	}
+	cfgs, err := shoggoth.ScenarioConfigs(sc, shoggoth.Shoggoth, devices,
+		shoggoth.WithSeed(11), shoggoth.WithCycles(cycles),
+		shoggoth.WithFidelity(shoggoth.FidelityEvents))
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range cfgs {
+		cfgs[i].UploadMaxWaitSec = 5
+	}
+	return cfgs, &shoggoth.Cluster{AggregateOnly: true, QueueCap: 256}, nil
+}
+
+// measureFleet1M runs the million-device cluster once and records its
+// throughput and engine phase split.
+func measureFleet1M() (Fleet1MPerfRecord, error) {
+	const devices = 1_000_000
+	cfgs, cluster, err := fleetCluster(devices, 0.01)
+	if err != nil {
+		return Fleet1MPerfRecord{}, err
+	}
+	clock := shoggoth.WallClock()
+	for i := range cfgs {
+		cfgs[i].PerfClock = clock
+	}
+	var phases shoggoth.EnginePhases
+	cluster.Phases = &phases
+
+	start := time.Now()
+	res, err := cluster.Run(context.Background(), cfgs)
+	if err != nil {
+		return Fleet1MPerfRecord{}, fmt.Errorf("fleet 1M bench: %w", err)
+	}
+	wall := time.Since(start).Seconds()
+
+	rec := Fleet1MPerfRecord{
+		Devices:    devices,
+		VirtualSec: cfgs[0].DurationSec,
+		WallSec:    round2(wall),
+		Events:     res.Engine.Events,
+		AdvanceSec: round2(phases.AdvanceSec),
+		MergeSec:   round2(phases.MergeSec),
+		SerialSec:  round2(phases.SerialSec),
+	}
+	if wall > 0 {
+		rec.EventsPerSec = round2(float64(rec.Events) / wall)
+	}
+	if tot := phases.AdvanceSec + phases.MergeSec + phases.SerialSec; tot > 0 {
+		rec.MergePhaseShare = round2(phases.MergeSec / tot * 100)
+	}
+	fmt.Printf("perf: fleet 1M %7.1fvs %7.1fs wall  %12d events  %12.0f ev/s  (advance %.1fs merge %.1fs serial %.1fs)\n",
+		rec.VirtualSec, wall, rec.Events, rec.EventsPerSec, phases.AdvanceSec, phases.MergeSec, phases.SerialSec)
+	return rec, nil
+}
+
+// measureFleetCapped runs the capped operating point once at the given
+// fleet size and returns its throughput record (phase split unset).
+func measureFleetCapped(devices int, cycles float64) (Fleet1MPerfRecord, error) {
+	cfgs, cluster, err := fleetCluster(devices, cycles)
+	if err != nil {
+		return Fleet1MPerfRecord{}, err
+	}
+	start := time.Now()
+	res, err := cluster.Run(context.Background(), cfgs)
+	if err != nil {
+		return Fleet1MPerfRecord{}, fmt.Errorf("fleet capped @ %d devices: %w", devices, err)
+	}
+	wall := time.Since(start).Seconds()
+	rec := Fleet1MPerfRecord{
+		Devices:    devices,
+		VirtualSec: cfgs[0].DurationSec,
+		WallSec:    round2(wall),
+		Events:     res.Engine.Events,
+	}
+	if wall > 0 {
+		rec.EventsPerSec = round2(float64(rec.Events) / wall)
+	}
+	return rec, nil
+}
+
+// runFleetSmoke is the CI gate: one capped 100k-device (by default)
+// events-fidelity run, failing if throughput lands under the floor. The
+// floor guards the hierarchical-merge + analytic-costing rebuild against
+// regression without the cost of a full -perf sweep.
+func runFleetSmoke(devices int, minEventsPerSec float64, outPath string) error {
+	rec, err := measureFleetCapped(devices, 0.02)
+	if err != nil {
+		return fmt.Errorf("fleet smoke: %w", err)
+	}
+	evPerSec := rec.EventsPerSec
+	fmt.Printf("fleet smoke: %d devices, %.1fvs in %.1fs wall — %d events, %.0f ev/s (%.1fx the frozen serial-merge 100k baseline)\n",
+		devices, rec.VirtualSec, rec.WallSec, rec.Events, evPerSec, evPerSec/serialMergeBaseline100k)
+	if outPath != "" {
+		data, err := json.MarshalIndent(&rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("fleet smoke: wrote %s\n", outPath)
+	}
+	if minEventsPerSec > 0 && evPerSec < minEventsPerSec {
+		return fmt.Errorf("fleet smoke gate: %.0f events/sec, need >= %.0f", evPerSec, minEventsPerSec)
+	}
+	return nil
 }
 
 // fleetSpeedup returns engine-vs-stepper events/sec at the given device

@@ -7,6 +7,8 @@
 //	shoggoth-bench -full           # paper-scale mode (2 cycles)
 //	shoggoth-bench -exp table3     # one experiment: table1 fig4 table2 table3 fig5 extra policy router scenario tier
 //	shoggoth-bench -perf           # compute-core perf mode: refresh BENCH_core.json
+//	shoggoth-bench -fleet-smoke 100000 -fleet-min-events-per-sec 1500000
+//	                               # CI fleet smoke: one capped events run with a throughput floor
 package main
 
 import (
@@ -30,7 +32,17 @@ func main() {
 	perf := flag.Bool("perf", false, "measure the compute-core hot paths (train step, inference) instead of the paper experiments")
 	perfOut := flag.String("perf-out", "BENCH_core.json", "perf mode: output file (baseline entries are preserved)")
 	perfMinFast := flag.Float64("perf-min-fast-speedup", 0, "perf mode: fail unless the fast tier is at least this many times faster than exact (0 = no gate; skipped without AVX2+FMA)")
+	fleetSmoke := flag.Int("fleet-smoke", 0, "run one capped events-fidelity fleet at this many devices and exit (CI smoke; 0 = off)")
+	fleetMinEvents := flag.Float64("fleet-min-events-per-sec", 0, "fleet smoke: fail unless throughput reaches this many events/sec (0 = no gate)")
+	fleetSmokeOut := flag.String("fleet-smoke-out", "", "fleet smoke: write the measurement as JSON to this path (empty = don't)")
 	flag.Parse()
+
+	if *fleetSmoke > 0 {
+		if err := runFleetSmoke(*fleetSmoke, *fleetMinEvents, *fleetSmokeOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *perf {
 		if err := runPerf(*perfOut, *perfMinFast); err != nil {

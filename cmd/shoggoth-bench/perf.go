@@ -99,10 +99,18 @@ type PerfFile struct {
 
 	// Fleet is the fleet-scale record: rush-hour clusters at events
 	// fidelity, 1k/10k/100k devices, event engine vs the legacy frame
-	// stepper. SpeedupFleet10k is the engine's events/sec over the
-	// stepper's at 10k devices.
-	Fleet           []FleetPerfRecord `json:"fleet,omitempty"`
-	SpeedupFleet10k float64           `json:"speedup_fleet_events_per_sec_10k,omitempty"`
+	// stepper — uncapped, full per-device results, so the rows stay
+	// comparable with the pre-rebuild trajectory. SpeedupFleet10k is the
+	// engine's events/sec over the stepper's at 10k devices. Fleet100k
+	// and Fleet1M measure the capped operating point (AggregateOnly,
+	// QueueCap; the 1M record adds the engine phase split), and
+	// SpeedupFleet100kVsSerialMerge is Fleet100k's events/sec against
+	// the frozen pre-hierarchical-merge serial-drain baseline.
+	Fleet                         []FleetPerfRecord  `json:"fleet,omitempty"`
+	SpeedupFleet10k               float64            `json:"speedup_fleet_events_per_sec_10k,omitempty"`
+	Fleet100k                     *Fleet1MPerfRecord `json:"fleet_100k_capped,omitempty"`
+	Fleet1M                       *Fleet1MPerfRecord `json:"fleet_1m,omitempty"`
+	SpeedupFleet100kVsSerialMerge float64            `json:"speedup_fleet_100k_vs_serial_merge,omitempty"`
 
 	// CloudTier is the routing-tier microbenchmark: per-router dispatch
 	// cost and batched-vs-unbatched modeled teacher throughput.
@@ -439,6 +447,21 @@ func runPerf(path string, minFastSpeedup float64) error {
 	}
 	file.Fleet = fleet
 	file.SpeedupFleet10k = fleetSpeedup(fleet, 10_000)
+	f100k, err := measureFleetCapped(100_000, 0.02)
+	if err != nil {
+		return err
+	}
+	file.Fleet100k = &f100k
+	if f100k.EventsPerSec > 0 {
+		file.SpeedupFleet100kVsSerialMerge = round2(f100k.EventsPerSec / serialMergeBaseline100k)
+	}
+	fmt.Printf("perf: fleet 100k capped %7.1fvs %7.1fs wall  %12d events  %12.0f ev/s\n",
+		f100k.VirtualSec, f100k.WallSec, f100k.Events, f100k.EventsPerSec)
+	f1m, err := measureFleet1M()
+	if err != nil {
+		return err
+	}
+	file.Fleet1M = &f1m
 	ct := measureCloudTier()
 	file.CloudTier = &ct
 	if b := file.Baseline; b != nil {
@@ -483,6 +506,14 @@ func runPerf(path string, minFastSpeedup float64) error {
 	}
 	if file.SpeedupFleet10k > 0 {
 		fmt.Printf("perf: fleet event engine %.1fx stepper events/sec at 10k devices\n", file.SpeedupFleet10k)
+	}
+	if file.SpeedupFleet100kVsSerialMerge > 0 {
+		fmt.Printf("perf: fleet 100k engine %.1fx the frozen serial-merge baseline (%.0f ev/s)\n",
+			file.SpeedupFleet100kVsSerialMerge, serialMergeBaseline100k)
+	}
+	if file.Fleet1M != nil {
+		fmt.Printf("perf: fleet 1M %.0f ev/s, merge phase %.1f%% of engine wall time\n",
+			file.Fleet1M.EventsPerSec, file.Fleet1M.MergePhaseShare)
 	}
 	fmt.Printf("perf: wrote %s\n", path)
 

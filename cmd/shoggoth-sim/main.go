@@ -83,7 +83,9 @@ func main() {
 	cloudAdmitBurst := flag.Float64("cloud-admit-burst", 0, "token-bucket burst capacity in batches (<1 clamps to 1)")
 	cloudCoalesce := flag.Int("cloud-coalesce", 0, "coalesce up to this many compatible batches per teacher forward (cross-device batching; <2 = off)")
 	cloudColdStart := flag.Float64("cloud-cold-start", 0, "cold-start penalty in seconds for a domain's first batch on a replica")
-	fidelity := flag.String("fidelity", "full", "simulation fidelity: full (real models, golden-identical) or events (sparse fleet-scale mode)")
+	fidelity := flag.String("fidelity", "full", "simulation fidelity: full (real models, golden-identical), events (sparse fleet-scale mode) or sampled (seeded full-fidelity subset inside an events fleet; cluster mode only)")
+	sampleFrac := flag.Float64("sample-frac", 0, "sampled fidelity: fraction of devices run at full fidelity, in (0, 1] (0 = the default fraction; needs -fidelity sampled)")
+	sampleSeed := flag.Uint64("sample-seed", 0, "sampled fidelity: seed of the device-subset draw (0 = the run seed; needs -fidelity sampled)")
 	engine := flag.String("engine", shoggoth.EngineEvent, "cluster execution core: event (discrete-event engine) or frame-step (legacy stepper)")
 	engineWorkers := flag.Int("engine-workers", 0, "event-engine device-batch workers (wall-clock only; results are identical at any value; 0 = 1)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
@@ -145,10 +147,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if fid == shoggoth.FidelitySampled {
+		if *sampleFrac < 0 || *sampleFrac > 1 {
+			log.Fatalf("-sample-frac %g out of range (0, 1]", *sampleFrac)
+		}
+	} else if explicit["sample-frac"] || explicit["sample-seed"] {
+		log.Fatal("-sample-frac/-sample-seed need -fidelity sampled")
+	}
 
 	baseOpts := func(seed uint64) []shoggoth.Option {
-		opts := []shoggoth.Option{shoggoth.WithSeed(seed), shoggoth.WithCycles(*cycles),
-			shoggoth.WithFidelity(fid)}
+		opts := []shoggoth.Option{shoggoth.WithSeed(seed), shoggoth.WithCycles(*cycles)}
+		if fid == shoggoth.FidelitySampled {
+			opts = append(opts, shoggoth.WithSampledFidelity(*sampleFrac, *sampleSeed))
+		} else {
+			opts = append(opts, shoggoth.WithFidelity(fid))
+		}
 		if *duration > 0 {
 			opts = append(opts, shoggoth.WithDuration(*duration))
 		}
@@ -183,6 +196,9 @@ func main() {
 		header := fmt.Sprintf("scenario=%s strategy=%s", scen.Name, kinds[0])
 		applyCloudFlags(cfgs)
 		if len(cfgs) == 1 {
+			if fid == shoggoth.FidelitySampled {
+				log.Fatal("-fidelity sampled needs a device cluster (a multi-device scenario or -devices > 1): it samples across a fleet run by the event engine")
+			}
 			runFleet(cfgs, *workers, *asJSON, *verbose, header, *seed)
 			return
 		}
@@ -214,6 +230,9 @@ func main() {
 		return
 	}
 
+	if fid == shoggoth.FidelitySampled {
+		log.Fatal("-fidelity sampled needs a device cluster (a multi-device scenario or -devices > 1): it samples across a fleet run by the event engine")
+	}
 	cfgs := shoggoth.Grid([]*shoggoth.Profile{profile}, kinds, baseOpts(*seed)...)
 	applyCloudFlags(cfgs)
 	runFleet(cfgs, *workers, *asJSON, *verbose, "profile="+profile.Name, *seed)
@@ -244,6 +263,11 @@ func printRegistries() {
 		{"cloud policies (-cloud-policy)", shoggoth.CloudPolicyEntries()},
 		{"cloud routers (-cloud-router)", shoggoth.CloudRouterEntries()},
 		{"scenarios (-scenario)", shoggoth.ScenarioEntries()},
+		{"fidelities (-fidelity)", []shoggoth.RegistryEntry{
+			{Name: "full", Summary: "real student SGD, every frame materialized — the golden-identical default"},
+			{Name: "events", Summary: "fleet-scale sparse mode: analytic costing, no student deployed, frames priced not executed"},
+			{Name: "sampled", Summary: "seeded device subset at full fidelity inside an events fleet; fleet accuracy extrapolated with a bootstrap error bound (-sample-frac, -sample-seed; cluster mode only)"},
+		}},
 	}
 	for i, s := range sections {
 		if i > 0 {
@@ -310,8 +334,10 @@ func parseFidelity(name string) (shoggoth.Fidelity, error) {
 		return shoggoth.FidelityFull, nil
 	case "events":
 		return shoggoth.FidelityEvents, nil
+	case "sampled":
+		return shoggoth.FidelitySampled, nil
 	default:
-		return "", fmt.Errorf("unknown -fidelity %q (want full or events)", name)
+		return "", fmt.Errorf("unknown -fidelity %q (want full, events or sampled)", name)
 	}
 }
 
@@ -394,6 +420,14 @@ func runCluster(cfgs []shoggoth.Config, p clusterParams, asJSON, verbose bool, h
 		}
 	}
 	fmt.Printf("  jain fairness across devices: %.3f\n", c.JainFairness)
+	if s := res.Sampled; s != nil {
+		fmt.Printf("sampled: %d/%d devices at full fidelity (frac %g, seed %d)\n",
+			s.SampledDevices, s.FleetDevices, s.Frac, s.Seed)
+		fmt.Printf("  mAP@0.5 est %.1f%% ± %.1f%% (95%% CI [%.1f%%, %.1f%%], %d bootstrap resamples)\n",
+			s.MAP50.Mean*100, s.MAP50.StdErr*100, s.MAP50.Lo95*100, s.MAP50.Hi95*100, s.Resamples)
+		fmt.Printf("  avgIoU  est %.3f ± %.3f (95%% CI [%.3f, %.3f])\n",
+			s.AvgIoU.Mean, s.AvgIoU.StdErr, s.AvgIoU.Lo95, s.AvgIoU.Hi95)
+	}
 	if res.Engine != nil {
 		fmt.Printf("engine: %d events over %d epochs\n", res.Engine.Events, res.Engine.Epochs)
 	}

@@ -1,0 +1,9 @@
+//go:build race
+
+package shoggoth_test
+
+// megaFleetDevices under -race: a reduced 50k fleet. The race detector
+// multiplies both wall time and memory roughly tenfold, and every data
+// race the engine could exhibit shows up at 50k devices — the shard count,
+// merge tree depth and shared-phase interleavings are identical.
+const megaFleetDevices = 50_000

@@ -102,6 +102,53 @@ func TestFleetDeterminism10k(t *testing.T) {
 	}
 }
 
+// TestFleetDeterminismMega is the million-device proof (50k under -race;
+// see determinism_scale_test.go): a rush-hour cluster at events fidelity in
+// AggregateOnly mode, run serially and sharded across 8 engine workers,
+// must produce byte-identical ClusterResults JSON — the hierarchical merge
+// tree, analytic cloud costing and streaming Welford aggregation all sit on
+// that path. Not -short-skipped: this is the scaling tentpole's regression
+// harness. AggregateOnly keeps the run's memory at the fleet aggregate (not
+// a million Results structs), and the tight QueueCap keeps the teacher
+// queue O(cap) while every device's upload — admitted or dropped — still
+// crosses the outbox merge and the shared timeline.
+func TestFleetDeterminismMega(t *testing.T) {
+	sc, err := shoggoth.ScenarioByName("rush-hour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) ([]byte, *shoggoth.ClusterResults) {
+		cfgs, err := shoggoth.ScenarioConfigs(sc, shoggoth.Shoggoth, megaFleetDevices,
+			shoggoth.WithSeed(11), shoggoth.WithCycles(0.01), shoggoth.WithFidelity(shoggoth.FidelityEvents))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cfgs {
+			cfgs[i].UploadMaxWaitSec = 5 // flush uploads inside the short horizon
+		}
+		res, err := (&shoggoth.Cluster{EngineWorkers: workers, AggregateOnly: true, QueueCap: 64}).
+			Run(context.Background(), cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return encodeJSON(t, res), res
+	}
+	serial, res := run(1)
+	if res.Devices != nil {
+		t.Fatalf("AggregateOnly run still carried %d device results", len(res.Devices))
+	}
+	if res.Fleet == nil || res.Fleet.Devices != megaFleetDevices {
+		t.Fatalf("fleet aggregate missing or wrong size: %+v", res.Fleet)
+	}
+	if res.Fleet.SampledFrames.Mean == 0 || res.Cloud.Batches == 0 || res.Cloud.DroppedBatches == 0 {
+		t.Fatalf("fleet did no cloud work (sampled mean=%v batches=%d dropped=%d) — the run proved nothing",
+			res.Fleet.SampledFrames.Mean, res.Cloud.Batches, res.Cloud.DroppedBatches)
+	}
+	if sharded, _ := run(8); !bytes.Equal(serial, sharded) {
+		t.Fatalf("EngineWorkers=8 changed the %d-device ClusterResults", megaFleetDevices)
+	}
+}
+
 // TestMultiCloudTierDeterminism extends the determinism contract to the
 // routed cloud tier: the multi-cloud scenario (3 replicas, domain-affinity
 // routing, token-bucket admission, 3-way teacher batching, cold-start

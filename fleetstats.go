@@ -1,0 +1,200 @@
+package shoggoth
+
+import (
+	"math/rand/v2"
+
+	"shoggoth/internal/core"
+	"shoggoth/internal/metrics"
+)
+
+// AggStat summarises one per-device metric across a fleet: mean, sample
+// standard deviation, range and the contributing device count. All values
+// come from a single-pass Welford reduction folded in device-index order,
+// so they are byte-identical at every EngineWorkers value.
+type AggStat struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	N    int     `json:"n"`
+}
+
+func aggOf(r *metrics.Running) AggStat {
+	return AggStat{Mean: r.Mean(), Std: r.StdDev(), Min: r.Min(), Max: r.Max(), N: r.Count()}
+}
+
+// FleetAggregate is the streaming reduction over per-device Results: O(1)
+// state per metric regardless of fleet size, so reducing a million devices
+// allocates no per-device intermediate slices. Accuracy metrics (MAP50,
+// AvgIoU) fold full-fidelity devices only — events-fidelity devices report
+// structural zeros there, which would poison a fleet mean.
+type FleetAggregate struct {
+	Devices     int     `json:"devices"`
+	FullDevices int     `json:"full_devices"` // devices contributing MAP50/AvgIoU
+	DurationSec float64 `json:"duration_sec"`
+	FramesTotal int64   `json:"frames_total"`
+
+	MAP50         AggStat `json:"map50"`
+	AvgIoU        AggStat `json:"avg_iou"`
+	PhiMean       AggStat `json:"phi_mean"`
+	AvgFPS        AggStat `json:"avg_fps"`
+	SampledFrames AggStat `json:"sampled_frames"`
+	Sessions      AggStat `json:"sessions"`
+	UpBytes       AggStat `json:"up_bytes"`
+	DownBytes     AggStat `json:"down_bytes"`
+	CloudDelay    AggStat `json:"cloud_queue_delay_mean_sec"`
+}
+
+// fleetFold is the accumulator behind FleetAggregate.
+type fleetFold struct {
+	devices  int
+	full     int
+	frames   int64
+	duration float64
+
+	map50, avgIoU, phiMean, avgFPS metrics.Running
+	sampledFrames, sessions        metrics.Running
+	upBytes, downBytes, cloudDelay metrics.Running
+}
+
+// add folds one device's results into the fleet aggregate; full marks a
+// full-fidelity device, whose accuracy metrics are real rather than
+// events-fidelity zeros. Runs once per device on the finish path of a
+// 1M-device cluster, so it must stay allocation-free.
+//
+//shoggoth:hotpath
+func (a *fleetFold) add(r *Results, full bool) {
+	a.devices++
+	if r.Duration > a.duration {
+		a.duration = r.Duration
+	}
+	a.frames += int64(r.FramesTotal)
+	if full {
+		a.full++
+		a.map50.Add(r.MAP50)
+		a.avgIoU.Add(r.AvgIoU)
+	}
+	a.phiMean.Add(r.PhiMean)
+	a.avgFPS.Add(r.AvgFPS)
+	a.sampledFrames.Add(float64(r.SampledFrames))
+	a.sessions.Add(float64(r.Sessions))
+	a.upBytes.Add(float64(r.UpBytes))
+	a.downBytes.Add(float64(r.DownBytes))
+	a.cloudDelay.Add(r.CloudQueueDelayMeanSec)
+}
+
+// aggregate freezes the fold into the reported FleetAggregate.
+func (a *fleetFold) aggregate() *FleetAggregate {
+	return &FleetAggregate{
+		Devices:       a.devices,
+		FullDevices:   a.full,
+		DurationSec:   a.duration,
+		FramesTotal:   a.frames,
+		MAP50:         aggOf(&a.map50),
+		AvgIoU:        aggOf(&a.avgIoU),
+		PhiMean:       aggOf(&a.phiMean),
+		AvgFPS:        aggOf(&a.avgFPS),
+		SampledFrames: aggOf(&a.sampledFrames),
+		Sessions:      aggOf(&a.sessions),
+		UpBytes:       aggOf(&a.upBytes),
+		DownBytes:     aggOf(&a.downBytes),
+		CloudDelay:    aggOf(&a.cloudDelay),
+	}
+}
+
+// SampledEstimate extrapolates one fleet accuracy aggregate from the
+// full-fidelity subset of a sampled-fidelity run: the subset mean, plus a
+// bootstrap standard error and 95% percentile interval over resampled
+// subset means. The error-bound contract: [Lo95, Hi95] is the interval the
+// deterministic bootstrap assigns to the fleet mean — under uniform device
+// sampling it brackets the true full-fidelity fleet aggregate with ≈95%
+// coverage over subset draws.
+type SampledEstimate struct {
+	Mean   float64 `json:"mean"`
+	StdErr float64 `json:"std_err"`
+	Lo95   float64 `json:"lo95"`
+	Hi95   float64 `json:"hi95"`
+}
+
+// SampledStats reports the sampled-fidelity estimator attached to
+// ClusterResults: which subset ran full fidelity and the extrapolated
+// accuracy aggregates with their error bounds.
+type SampledStats struct {
+	// Frac is the resolved sampling fraction (after defaulting).
+	Frac float64 `json:"frac"`
+	// Seed keyed the subset draw (Config.SampledSeed, or the run seed).
+	Seed uint64 `json:"seed"`
+	// SampledDevices ran at full fidelity out of FleetDevices total.
+	SampledDevices int `json:"sampled_devices"`
+	FleetDevices   int `json:"fleet_devices"`
+	// Resamples is the bootstrap resample count behind StdErr/Lo95/Hi95.
+	Resamples int `json:"resamples"`
+
+	MAP50  SampledEstimate `json:"map50"`
+	AvgIoU SampledEstimate `json:"avg_iou"`
+}
+
+// sampledResamples is the bootstrap resample count: enough for stable 2.5%
+// tail quantiles, cheap against any fleet run it rides on.
+const sampledResamples = 1000
+
+// sampledSubset draws k distinct device indices out of n via a partial
+// Fisher–Yates shuffle keyed by (seed, RNGStreamFidelitySample), returning
+// a membership mask. A pure function of (n, k, seed): reruns, worker
+// counts and config order cannot disturb which devices run full fidelity.
+func sampledSubset(n, k int, seed uint64) []bool {
+	rng := rand.New(rand.NewPCG(seed, core.RNGStreamFidelitySample))
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	chosen := make([]bool, n)
+	for i := 0; i < k; i++ {
+		j := i + rng.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		chosen[idx[i]] = true
+	}
+	return chosen
+}
+
+// newSampledStats builds the sampled-fidelity report from the per-sampled-
+// device accuracy values (device-index order). The bootstrap RNG is its own
+// stream (RNGStreamBootstrap), so adding resamples can never perturb the
+// subset draw or any simulation randomness.
+func newSampledStats(frac float64, seed uint64, fleet int, map50s, ious []float64) *SampledStats {
+	rng := rand.New(rand.NewPCG(seed, core.RNGStreamBootstrap))
+	return &SampledStats{
+		Frac:           frac,
+		Seed:           seed,
+		SampledDevices: len(map50s),
+		FleetDevices:   fleet,
+		Resamples:      sampledResamples,
+		MAP50:          bootstrapEstimate(map50s, rng),
+		AvgIoU:         bootstrapEstimate(ious, rng),
+	}
+}
+
+// bootstrapEstimate resamples vals with replacement sampledResamples times
+// and summarises the resampled means: percentile 95% interval plus the
+// bootstrap standard error.
+func bootstrapEstimate(vals []float64, rng *rand.Rand) SampledEstimate {
+	est := SampledEstimate{Mean: metrics.Mean(vals)}
+	if len(vals) == 0 {
+		return est
+	}
+	means := make([]float64, sampledResamples)
+	inv := 1 / float64(len(vals))
+	var acc metrics.Running
+	for b := range means {
+		var s float64
+		for i := 0; i < len(vals); i++ {
+			s += vals[rng.IntN(len(vals))]
+		}
+		means[b] = s * inv
+		acc.Add(means[b])
+	}
+	est.StdErr = acc.StdDev()
+	est.Lo95 = metrics.Quantile(means, 0.025)
+	est.Hi95 = metrics.Quantile(means, 0.975)
+	return est
+}

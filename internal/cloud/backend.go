@@ -13,6 +13,14 @@ type DeviceOptions struct {
 	SLOClass string
 	// Weight is the device's fair-queueing weight (0 means the default 1).
 	Weight float64
+	// Analytic prices this device's labeling instead of executing it: the
+	// teacher never runs, labels come back nil, and φ is the deterministic
+	// drift model (Teacher.AnalyticPhi). Queueing, worker horizons, coalesce
+	// rider pricing and cold starts are charged exactly as for an executed
+	// device — only the label computation itself is elided. This is the
+	// events-fidelity cloud cost model; analytic and executed devices can
+	// share one backend (sampled fidelity does exactly that).
+	Analytic bool
 }
 
 // Backend is a cloud labeling endpoint a core.System can register on:
@@ -55,7 +63,7 @@ type Device interface {
 // optional weight. The SLO class is a tier concept; a bare Service ignores
 // it.
 func (s *Service) RegisterDevice(id string, teacher *detect.Teacher, labelerCfg LabelerConfig, ctrlCfg *ControllerConfig, opts DeviceOptions) (Device, error) {
-	d, err := s.Register(id, teacher, labelerCfg, ctrlCfg)
+	d, err := s.register(id, teacher, labelerCfg, ctrlCfg, opts.Analytic)
 	if err != nil {
 		return nil, err
 	}

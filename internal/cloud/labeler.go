@@ -28,6 +28,12 @@ type Labeler struct {
 	prevLabels []detect.TeacherLabel
 	prevBoxes  map[int]geom.Box // proposal boxes of the previous labeled frame
 	havePrev   bool
+
+	// Analytic φ-chain state (events-fidelity pricing): the previous labeled
+	// frame's time and domain are all the continuity the drift model needs.
+	anPrevTime   float64
+	anPrevDomain int
+	anHavePrev   bool
 }
 
 // NewLabeler creates a labeler around a teacher.
@@ -71,6 +77,26 @@ func (l *Labeler) LabelBatch(frames []*video.Frame) []LabelResult {
 		out[i] = l.finishFrame(f, slab[start:len(slab):len(slab)])
 	}
 	return out
+}
+
+// PhiAnalytic prices a labeling round without executing the teacher: no
+// labels are produced, and each frame's φ comes from the teacher's
+// deterministic drift model over the time elapsed since the previous
+// labeled frame. The continuity contract matches the executed chain — the
+// device's first labeled frame scores 0, and state rolls forward per frame
+// in batch order — so an analytic device's φ stream has the same shape
+// (first-frame zero, per-frame progression) as an executed one.
+func (l *Labeler) PhiAnalytic(frames []*video.Frame) []float64 {
+	phis := make([]float64, len(frames))
+	for i, f := range frames {
+		if l.anHavePrev {
+			phis[i] = l.Teacher.AnalyticPhi(f.Index, f.Time-l.anPrevTime, f.DomainID != l.anPrevDomain)
+		}
+		l.anPrevTime = f.Time
+		l.anPrevDomain = f.DomainID
+		l.anHavePrev = true
+	}
+	return phis
 }
 
 // finishFrame computes φ for a freshly labeled frame and rolls the device's

@@ -216,13 +216,14 @@ func (s *Service) Policy() string {
 // labeler (φ continuity) and optional sampling-rate controller, sharing the
 // engine's teacher workers with every other device.
 type ServiceDevice struct {
-	svc     *Service
-	id      string
-	labeler *Labeler
-	ctrl    *Controller
-	acc     queueAccum
-	weight  float64
-	lastPhi float64 // most recent batch mean φ — the drift signal policies rank by
+	svc      *Service
+	id       string
+	labeler  *Labeler
+	ctrl     *Controller
+	acc      queueAccum
+	weight   float64
+	analytic bool    // price labeling instead of executing it (events fidelity)
+	lastPhi  float64 // most recent batch mean φ — the drift signal policies rank by
 }
 
 // Register adds a device to the service. Each device brings its own teacher
@@ -231,12 +232,19 @@ type ServiceDevice struct {
 // deployments can never alias one φ stream. Register is safe for concurrent
 // use (the rpc server registers devices on first contact).
 func (s *Service) Register(id string, teacher *detect.Teacher, labelerCfg LabelerConfig, ctrlCfg *ControllerConfig) (*ServiceDevice, error) {
+	return s.register(id, teacher, labelerCfg, ctrlCfg, false)
+}
+
+// register is Register plus the analytic-pricing flag (DeviceOptions
+// Analytic); the flag is per device, so analytic fleet devices and executed
+// full-fidelity devices coexist on one service.
+func (s *Service) register(id string, teacher *detect.Teacher, labelerCfg LabelerConfig, ctrlCfg *ControllerConfig, analytic bool) (*ServiceDevice, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.devices[id]; dup {
 		return nil, fmt.Errorf("cloud: device %q already registered", id)
 	}
-	d := &ServiceDevice{svc: s, id: id, labeler: NewLabeler(teacher, labelerCfg), weight: 1}
+	d := &ServiceDevice{svc: s, id: id, labeler: NewLabeler(teacher, labelerCfg), weight: 1, analytic: analytic}
 	if ctrlCfg != nil {
 		d.ctrl = NewController(*ctrlCfg)
 	}
@@ -426,6 +434,20 @@ func (d *ServiceDevice) admitExtra(nFrames int, now, extra float64) (Admission, 
 // calls per device (the virtual-time event loop, or the rpc server's
 // per-device lock) so the labeler's φ continuity sees frames in order.
 func (d *ServiceDevice) LabelFrames(frames []*video.Frame) ([][]detect.TeacherLabel, []float64, float64) {
+	if d.analytic {
+		// Events-fidelity pricing: the batch was queued, assigned a worker
+		// horizon and charged its full (or coalesced-rider) service time by
+		// the scheduling layer above — but the teacher itself never runs.
+		// Labels are nil by contract; φ is the deterministic drift model.
+		phis := d.labeler.PhiAnalytic(frames)
+		var phi metrics.Running
+		for _, p := range phis {
+			phi.Add(p)
+		}
+		mean := phi.Mean()
+		d.lastPhi = mean
+		return nil, phis, mean
+	}
 	labels := make([][]detect.TeacherLabel, len(frames))
 	phis := make([]float64, len(frames))
 	var phi metrics.Running

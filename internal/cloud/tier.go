@@ -238,6 +238,7 @@ type TierDevice struct {
 	labelerCfg LabelerConfig
 	ctrl       *Controller
 	weight     float64
+	analytic   bool             // priced, never executed, labeling (DeviceOptions.Analytic)
 	regs       []*ServiceDevice // index-aligned with tier.replicas; nil until routed to
 	served     int
 	drops      int // token-bucket rejections (queue-full drops live in regs)
@@ -263,6 +264,7 @@ func (t *Tier) Register(id string, teacher *detect.Teacher, labelerCfg LabelerCo
 		teacher:    teacher,
 		labelerCfg: labelerCfg,
 		weight:     1,
+		analytic:   opts.Analytic,
 		regs:       make([]*ServiceDevice, len(t.replicas)),
 	}
 	if ctrlCfg != nil {
@@ -365,7 +367,7 @@ func (t *Tier) admitRoute(td *TierDevice, frames []*video.Frame, now float64) (r
 	reg = td.regs[ri]
 	if reg == nil {
 		var err error
-		reg, err = t.replicas[ri].Register(td.id, td.teacher, td.labelerCfg, nil)
+		reg, err = t.replicas[ri].register(td.id, td.teacher, td.labelerCfg, nil, td.analytic)
 		if err != nil {
 			// Unreachable: regs[ri] guards one registration per replica.
 			panic(err)

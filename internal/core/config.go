@@ -37,7 +37,20 @@ const (
 	// strategy with a student model (Cloud-Only's continuous 30 fps stream
 	// is not represented in this fidelity).
 	FidelityEvents Fidelity = "events"
+	// FidelitySampled is the adaptive fleet fidelity: a seeded,
+	// deterministic subset of a Cluster's devices (SampledFrac of them)
+	// runs at full fidelity inside an otherwise events-fidelity fleet, and
+	// ClusterResults extrapolates fleet accuracy aggregates from the
+	// subset with a bootstrap error bound. It is a fleet-level concept:
+	// the Cluster event engine rewrites each device to full or events
+	// fidelity before any System is built, so a single-device run (or the
+	// frame-step engine) rejects it.
+	FidelitySampled Fidelity = "sampled"
 )
+
+// DefaultSampledFrac is the fraction of fleet devices run at full fidelity
+// under FidelitySampled when Config.SampledFrac is zero.
+const DefaultSampledFrac = 0.05
 
 // Config fully describes one experiment run.
 type Config struct {
@@ -46,9 +59,18 @@ type Config struct {
 	DurationSec float64
 	Seed        uint64
 
-	// Fidelity selects full-model simulation (default) or the events-only
-	// fleet fidelity; see the Fidelity constants.
+	// Fidelity selects full-model simulation (default), the events-only
+	// fleet fidelity, or the sampled hybrid; see the Fidelity constants.
 	Fidelity Fidelity
+
+	// SampledFrac is the fraction of the fleet run at full fidelity under
+	// FidelitySampled. Zero means DefaultSampledFrac; otherwise it must lie
+	// in (0, 1]. Ignored at other fidelities.
+	SampledFrac float64
+	// SampledSeed keys the deterministic device-subset draw of
+	// FidelitySampled (stream-separated from every other RNG consumer; see
+	// rng.go). Zero means the run Seed.
+	SampledSeed uint64
 
 	// DeviceID names this deployment on its cloud labeling service. Empty
 	// is fine for a private (single-device) run; a Cluster requires unique
@@ -254,12 +276,15 @@ func (c *Config) Validate() error {
 	}
 	switch c.Fidelity {
 	case "", FidelityFull:
-	case FidelityEvents:
+	case FidelityEvents, FidelitySampled:
 		if !d.Traits.Student {
 			return fmt.Errorf("core: fidelity %q needs a strategy with an edge student model; %s streams continuously and has no events-fidelity equivalent", c.Fidelity, d.Name)
 		}
+		if c.Fidelity == FidelitySampled && (c.SampledFrac < 0 || c.SampledFrac > 1) {
+			return fmt.Errorf("core: sampled fraction %v out of range (0, 1]", c.SampledFrac)
+		}
 	default:
-		return fmt.Errorf("core: unknown fidelity %q (want %q or %q)", c.Fidelity, FidelityFull, FidelityEvents)
+		return fmt.Errorf("core: unknown fidelity %q (want %q, %q or %q)", c.Fidelity, FidelityFull, FidelityEvents, FidelitySampled)
 	}
 	if c.UplinkCell < 0 {
 		return fmt.Errorf("core: negative uplink cell id %d", c.UplinkCell)

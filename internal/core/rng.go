@@ -42,4 +42,11 @@ const (
 	RNGStreamEdgeTrain uint64 = 4
 	// RNGStreamAMSTrain seeds the AMS cloud-side trainer.
 	RNGStreamAMSTrain uint64 = 5
+	// RNGStreamFidelitySample seeds the Cluster's sampled-fidelity device
+	// subset draw (keyed by Config.SampledSeed, not the device seed: one
+	// draw per fleet, before any System exists).
+	RNGStreamFidelitySample uint64 = 6
+	// RNGStreamBootstrap seeds the sampled-fidelity bootstrap resampling
+	// that produces the ClusterResults error bound.
+	RNGStreamBootstrap uint64 = 7
 )

@@ -46,6 +46,11 @@ func (st *edgeTrainStrategy) OnCloudBatch(frames []*video.Frame, labels [][]dete
 	for _, ls := range labels {
 		nRegions += len(ls)
 	}
+	if labels == nil {
+		// Analytic labeling (events fidelity) returns no label sets; price
+		// the downlink from the expected region count instead.
+		nRegions = sys.AnalyticRegions(frames)
+	}
 	lb := netsim.LabelSetBytes(nRegions)
 	sys.Usage().AddDown(lb)
 	at := done + cfg.DownlinkTransfer(lb, done)

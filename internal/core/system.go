@@ -123,6 +123,12 @@ func NewSystemOpts(cfg Config, opts SystemOptions) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Fidelity == FidelitySampled {
+		// Sampled fidelity is resolved by the Cluster event engine, which
+		// rewrites each device to full or events fidelity before building
+		// systems; a System itself is always one or the other.
+		return nil, fmt.Errorf("core: fidelity %q is a fleet-level mode; run it through a Cluster's event engine", cfg.Fidelity)
+	}
 	desc, _ := Lookup(cfg.Kind) // Validate rejected unregistered kinds
 	// Resolve the compute tier once: Trainer carries it to every strategy's
 	// trainer, the deployed student's inference kernels match it, and the
@@ -189,7 +195,11 @@ func NewSystemOpts(cfg Config, opts SystemOptions) (*System, error) {
 	if cfg.adaptive() {
 		ctrlCfg = &cfg.Controller
 	}
-	dev, err := s.cloudSvc.RegisterDevice(cfg.DeviceID, s.teacher, cfg.Labeler, ctrlCfg, cloud.DeviceOptions{SLOClass: cfg.SLOClass})
+	// Events-fidelity devices register analytic: labeling is priced through
+	// the identical queueing/coalescing/cold-start machinery but the teacher
+	// never executes (the cloud cost model of DESIGN.md §14).
+	dev, err := s.cloudSvc.RegisterDevice(cfg.DeviceID, s.teacher, cfg.Labeler, ctrlCfg,
+		cloud.DeviceOptions{SLOClass: cfg.SLOClass, Analytic: s.fleet})
 	if err != nil {
 		return nil, err
 	}
@@ -276,7 +286,9 @@ func (s *System) fleetFrame(t float64) {
 		if len(s.sampleBuf) == 0 {
 			s.firstBuffered = t
 		}
-		s.sampleBuf = append(s.sampleBuf, s.sparse.Frame(s.frameIdx, t))
+		// Metadata only: the analytic cloud never reads proposals, so the
+		// PCG proposal materialization of SparseStream.Frame is skipped.
+		s.sampleBuf = append(s.sampleBuf, s.sparse.Meta(s.frameIdx, t))
 		s.results.SampledFrames++
 	}
 	if len(s.sampleBuf) > 0 &&
@@ -606,7 +618,31 @@ func (s *System) ClaimSessionCost(tc detect.TrainerConfig) edge.SessionCost {
 	if first {
 		replayVirtual = 0
 	}
-	return s.cfg.Cost.Session(tc, first, s.cfg.CanonicalBatch, replayVirtual)
+	cost := s.cfg.Cost.Session(tc, first, s.cfg.CanonicalBatch, replayVirtual)
+	if s.fleet {
+		// Events fidelity prices training instead of running it, so the
+		// configured compute tier must show up in the price: the measured
+		// exact/fast step ratio scales the whole session. Full fidelity is
+		// untouched — there the tier's speed manifests as real wall time,
+		// and virtual session durations stay tier-independent by contract.
+		cost = cost.Scaled(edge.TierSpeedup(tc.Compute))
+	}
+	return cost
+}
+
+// AnalyticRegions estimates the total label-region count of a batch of
+// metadata-only frames (events fidelity): the per-domain expected proposal
+// count at each frame's capture time. It is the downlink-pricing stand-in
+// for summing len(labels) over an executed teacher's output.
+func (s *System) AnalyticRegions(frames []*video.Frame) int {
+	if s.sparse == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range frames {
+		n += s.sparse.Regions(f.Time)
+	}
+	return n
 }
 
 // AddSession counts one completed training session.

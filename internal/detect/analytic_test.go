@@ -1,0 +1,53 @@
+package detect
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"shoggoth/internal/video"
+)
+
+// TestAnalyticPhiContract pins the events-fidelity drift model: a pure
+// function of (teacher seed, frame index, Δt, domain change), bounded in
+// [0, 1], growing with the sampling interval, and jumping on domain change.
+func TestAnalyticPhiContract(t *testing.T) {
+	p := video.DETRACProfile()
+	teacher := NewTeacher(p, rand.New(rand.NewPCG(3, 2)))
+
+	// Pure: identical inputs give identical outputs, and evaluating it
+	// advances no RNG stream (a second teacher from the same seed agrees
+	// even after the first answered many queries).
+	other := NewTeacher(p, rand.New(rand.NewPCG(3, 2)))
+	for idx := 0; idx < 50; idx++ {
+		dt := 0.1 + 0.3*float64(idx%7)
+		if a, b := teacher.AnalyticPhi(idx, dt, idx%9 == 0), other.AnalyticPhi(idx, dt, idx%9 == 0); a != b {
+			t.Fatalf("frame %d: AnalyticPhi not pure: %v vs %v", idx, a, b)
+		}
+	}
+
+	// Bounded, and monotone in expectation over the sampling interval.
+	var shortSum, longSum float64
+	const n = 200
+	for idx := 0; idx < n; idx++ {
+		short := teacher.AnalyticPhi(idx, 0.2, false)
+		long := teacher.AnalyticPhi(idx, 30, false)
+		for _, v := range []float64{short, long} {
+			if v < 0 || v > 1 {
+				t.Fatalf("φ out of [0,1]: %v", v)
+			}
+		}
+		shortSum += short
+		longSum += long
+	}
+	if shortSum/n >= longSum/n {
+		t.Fatalf("φ must grow with the sampling interval: short mean %v, long mean %v",
+			shortSum/n, longSum/n)
+	}
+
+	// A domain change reports near-total drift regardless of Δt.
+	for idx := 0; idx < 20; idx++ {
+		if v := teacher.AnalyticPhi(idx, 0.05, true); v < 0.8 || v > 1 {
+			t.Fatalf("domain-change φ = %v, want ≥ 0.8", v)
+		}
+	}
+}

@@ -97,6 +97,57 @@ func (t *Teacher) LabelAppend(dst []TeacherLabel, f *video.Frame) []TeacherLabel
 	return out
 }
 
+// saltAnalyticPhi keys the analytic φ jitter stream; salts 1–9 (and the
+// hashNorm expansions derived from 6–9) belong to the executed teacher's
+// error draws and must never be reused.
+const saltAnalyticPhi = 10
+
+// AnalyticPhi is the events-fidelity stand-in for the label-change loss a
+// labeling round would compute over two executed teacher outputs: a
+// deterministic drift model over the time elapsed between consecutive
+// labeled frames of one device. Three effects compose, mirroring the
+// executed signal's structure:
+//
+//   - track turnover — scene slots regenerate on the profile's mean object
+//     TTL cadence, and an unmatched appearance/disappearance contributes a
+//     full unit to the change loss, so the turnover fraction 1−exp(−Δt/TTL)
+//     enters directly;
+//   - matched drift — tracks that survived the gap moved for Δt seconds,
+//     and their 1−IoU disagreement saturates with displacement;
+//   - relabeling jitter — the teacher's per-frame box jitter keeps φ off
+//     zero even for a stationary scene.
+//
+// A domain switch relabels the whole scene (class mix, geometry bias),
+// which the executed path sees as mostly-unmatched labels — modeled as a
+// high-φ excursion. The value is a pure function of (teacher seed, frame
+// index, Δt, domain change): reruns and worker counts cannot disturb it,
+// and no RNG stream advances.
+func (t *Teacher) AnalyticPhi(frameIdx int, dt float64, domainChanged bool) float64 {
+	jit := t.hash01(frameIdx, 0, saltAnalyticPhi)
+	if domainChanged {
+		phi := 0.82 + 0.15*jit
+		if phi > 1 {
+			phi = 1
+		}
+		return phi
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	ttl := (t.profile.ObjectTTL[0] + t.profile.ObjectTTL[1]) / 2
+	if ttl <= 0 {
+		ttl = 1
+	}
+	turnover := 1 - math.Exp(-dt/ttl)
+	drift := 1 - math.Exp(-dt/3.0)
+	jitterFloor := 0.10 + 0.06*jit
+	phi := turnover + (1-turnover)*(jitterFloor+0.45*drift)
+	if phi > 1 {
+		phi = 1
+	}
+	return phi
+}
+
 // Detections converts teacher labels into detections (Cloud-Only inference
 // results: what the cloud returns when it does all the work).
 func (t *Teacher) Detections(labels []TeacherLabel) []Detection {

@@ -304,3 +304,72 @@ func TestRunningMerge(t *testing.T) {
 		t.Fatal("merging an empty Running changed the accumulator")
 	}
 }
+
+// TestRunningWelford checks the one-pass variance/min/max extension against
+// the textbook two-pass computation.
+func TestRunningWelford(t *testing.T) {
+	xs := []float64{3.5, -1.25, 0, 7.75, 2.5, -4, 9.125, 0.5}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	mean := Mean(xs)
+	var m2 float64
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+	}
+	wantVar := m2 / float64(len(xs)-1)
+	if got := r.Variance(); math.Abs(got-wantVar) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, wantVar)
+	}
+	if got := r.StdDev(); math.Abs(got-math.Sqrt(wantVar)) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(wantVar))
+	}
+	if r.Min() != -4 || r.Max() != 9.125 {
+		t.Errorf("Min/Max = %v/%v, want -4/9.125", r.Min(), r.Max())
+	}
+	// Mean stays the plain sum/n it has always been.
+	if r.Mean() != mean {
+		t.Errorf("Mean = %v, want %v", r.Mean(), mean)
+	}
+	// Degenerate sizes report zero spread, not NaN.
+	var one Running
+	one.Add(5)
+	if one.Variance() != 0 || one.StdDev() != 0 {
+		t.Error("single-value variance must be 0")
+	}
+	var empty Running
+	if empty.Variance() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Error("empty accumulator must report zeros")
+	}
+}
+
+// TestRunningMergeVariance checks the Chan et al. parallel update: merging
+// split accumulators reproduces the sequential variance and range.
+func TestRunningMergeVariance(t *testing.T) {
+	xs := []float64{0.5, 2, -3, 8, 1.5, 1.5, -0.25, 4, 11, -6}
+	var flat Running
+	for _, x := range xs {
+		flat.Add(x)
+	}
+	for _, split := range []int{1, 3, 5, 9} {
+		var a, b Running
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if math.Abs(a.Variance()-flat.Variance()) > 1e-12 {
+			t.Errorf("split %d: merged variance %v, want %v", split, a.Variance(), flat.Variance())
+		}
+		if a.Min() != flat.Min() || a.Max() != flat.Max() {
+			t.Errorf("split %d: merged min/max %v/%v, want %v/%v",
+				split, a.Min(), a.Max(), flat.Min(), flat.Max())
+		}
+		if a.Count() != flat.Count() || a.Mean() != flat.Mean() {
+			t.Errorf("split %d: merged mean/count diverged", split)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -46,13 +47,37 @@ func (o *Outbox) At(t float64, fn func(now float64)) {
 // Pending returns the number of buffered emissions.
 func (o *Outbox) Pending() int { return len(o.events) }
 
-// drainInto transfers the buffered events onto the shared scheduler in
-// emission order (the scheduler assigns the authoritative seq numbers).
-func (o *Outbox) drainInto(s *Scheduler) {
-	for i := range o.events {
-		s.At(o.events[i].at, o.events[i].fn)
+// mergeEvent is one outbox emission tagged with its global merge key: the
+// clamped time (the value At would assign after its past-time clamp), the
+// owning device index, and the emission index within that device's outbox.
+// The three fields make every key unique, so the merge comparator is a
+// strict total order and any correct sort or merge schedule produces the
+// same permutation.
+type mergeEvent struct {
+	at   float64
+	dev  int32
+	emit int32
+	fn   func(now float64)
+}
+
+// mergeLess orders mergeEvents by (clamped time, device index, emission
+// index) — the canonical global order of one batch's emissions.
+func mergeLess(a, b mergeEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	o.events = o.events[:0]
+	if a.dev != b.dev {
+		return a.dev < b.dev
+	}
+	return a.emit < b.emit
+}
+
+// mergeCmp is mergeLess as a three-way comparison for slices.SortFunc.
+func mergeCmp(a, b mergeEvent) int {
+	if mergeLess(a, b) {
+		return -1
+	}
+	return 1 // keys are unique: never equal
 }
 
 // Engine is the fleet's discrete-event core. It owns one shared scheduler
@@ -88,6 +113,28 @@ type Engine struct {
 	dirty     []int
 	dirtyMark []bool
 	dn        int
+
+	// Hierarchical merge state: each advance shard collects its chunk's
+	// outbox emissions into a key-sorted run (runs), a tournament reduction
+	// two-way-merges them into one global run, and the shared scheduler
+	// bulk-appends the result. Every merge node in the reduction tree draws
+	// a fresh buffer from mbuf (a tournament over S runs performs exactly
+	// S−1 merges, and S ≤ workers), so no round can write into another's
+	// input; level holds the surviving slice headers between rounds. All
+	// buffers grow once and are reused across epochs.
+	nshards int
+	runs    [][]mergeEvent
+	mbuf    [][]mergeEvent
+	level   [][]mergeEvent
+
+	// Optional phase telemetry: clock is an injected wall-time sampler
+	// (seconds); nil keeps the hot loop free of timing calls. Accumulators
+	// are diagnostics only — never part of results or the determinism
+	// contract.
+	clock      func() float64
+	advanceSec float64
+	mergeSec   float64
+	serialSec  float64
 
 	epochs int64
 }
@@ -126,6 +173,29 @@ func (e *Engine) MarkDirty(i int) {
 // serial phases) executed so far.
 func (e *Engine) Epochs() int64 { return e.epochs }
 
+// SetClock injects a wall-time sampler (seconds) used to attribute the
+// engine's wall time to its phases. Pass nil (the default) to disable; sim
+// code must hand in an injected clock (e.g. the Config PerfClock) rather
+// than reading wall time itself — the wallclock analyzer enforces that.
+func (e *Engine) SetClock(fn func() float64) { e.clock = fn }
+
+// PhaseSeconds reports accumulated wall seconds by engine phase since the
+// last Run started: advance (parallel device fast-forward), merge (shard-run
+// reduction plus the shared-heap bulk append), serial (shared-timeline
+// execution plus dirty-key flushes). All zero unless SetClock was provided.
+func (e *Engine) PhaseSeconds() (advance, merge, serial float64) {
+	return e.advanceSec, e.mergeSec, e.serialSec
+}
+
+// stamp samples the injected clock, or returns 0 when none is set (the
+// subtraction of two zeros keeps the accumulators untouched).
+func (e *Engine) stamp() float64 {
+	if e.clock == nil {
+		return 0
+	}
+	return e.clock()
+}
+
 // Run executes the fleet until no actor or shared event remains at or
 // before end. Shared events at exactly end still run (matching the
 // drain-to-duration semantics of a single Session's Finish); device-local
@@ -146,17 +216,23 @@ func (e *Engine) Run(ctx context.Context, end float64) error {
 		e.popBatch(limit)
 		if e.bn == 0 {
 			if hasShared && tb <= end {
+				t0 := e.stamp()
 				e.inSerial = true
 				e.shared.AdvanceTo(tb)
 				e.inSerial = false
 				e.flushDirty()
+				e.serialSec += e.stamp() - t0
 				e.epochs++
 				continue
 			}
 			return nil
 		}
+		t0 := e.stamp()
 		e.advanceBatch(limit)
+		t1 := e.stamp()
 		e.mergeBatch()
+		e.mergeSec += e.stamp() - t1
+		e.advanceSec += t1 - t0
 		e.epochs++
 	}
 }
@@ -173,8 +249,15 @@ func (e *Engine) init() {
 		e.dirty = make([]int, n)
 		e.dirtyMark = make([]bool, n)
 	}
+	if len(e.runs) < e.workers {
+		e.runs = make([][]mergeEvent, e.workers)
+		e.mbuf = make([][]mergeEvent, e.workers)
+		e.level = make([][]mergeEvent, e.workers)
+	}
 	e.heap = e.heap[:0]
 	e.bn, e.dn = 0, 0
+	e.nshards = 0
+	e.advanceSec, e.mergeSec, e.serialSec = 0, 0, 0
 	for i := 0; i < n; i++ {
 		e.pos[i] = -1
 		e.dirtyMark[i] = false
@@ -203,43 +286,160 @@ func (e *Engine) popBatch(limit float64) {
 }
 
 // advanceBatch fast-forwards every popped device to limit — inline for one
-// worker, otherwise on contiguous chunks across the worker pool. Devices in
-// a batch share no mutable state (emissions buffer in per-device outboxes),
-// so the split affects wall time only.
+// worker, otherwise on contiguous chunks across the worker pool — and has
+// each shard collect its chunk's outbox emissions into a key-sorted run for
+// the tournament merge. Devices in a batch share no mutable state (emissions
+// buffer in per-device outboxes, runs are per-shard), so the split affects
+// wall time only. The shared clock is sampled once up front: nothing
+// executes on the shared timeline during an advance, so the At clamp every
+// emission would receive is computable inside the shard.
 func (e *Engine) advanceBatch(limit float64) {
+	now := e.shared.Now()
 	if e.workers <= 1 || e.bn <= 1 {
-		for k := 0; k < e.bn; k++ {
-			e.actors[e.batch[k]].AdvanceTo(limit)
-		}
+		e.nshards = 1
+		e.runShard(0, 0, e.bn, limit, now)
 		return
 	}
 	chunk := (e.bn + e.workers - 1) / e.workers
+	e.nshards = (e.bn + chunk - 1) / chunk
 	var wg sync.WaitGroup
+	s := 0
 	for lo := 0; lo < e.bn; lo += chunk {
 		hi := lo + chunk
 		if hi > e.bn {
 			hi = e.bn
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(s, lo, hi int) {
 			defer wg.Done()
-			for k := lo; k < hi; k++ {
-				e.actors[e.batch[k]].AdvanceTo(limit)
-			}
-		}(lo, hi)
+			e.runShard(s, lo, hi, limit, now)
+		}(s, lo, hi)
+		s++
 	}
 	wg.Wait()
 }
 
-// mergeBatch drains the popped devices' outboxes into the shared scheduler
-// in device-index order — the shared heap assigns sequence numbers here, on
-// one goroutine, which is what makes the global event order worker-count
-// invariant — then re-prices each device's heap key.
-func (e *Engine) mergeBatch() {
-	for k := 0; k < e.bn; k++ {
+// runShard advances batch[lo:hi] and gathers their emissions into
+// e.runs[s], sorted by the (clamped time, device index, emission index)
+// merge key. Keys are unique, so the sorted permutation is independent of
+// the sort algorithm and of how devices interleaved their work.
+func (e *Engine) runShard(s, lo, hi int, limit, now float64) {
+	total := 0
+	for k := lo; k < hi; k++ {
 		i := e.batch[k]
-		e.out[i].drainInto(e.shared)
-		e.updateKey(i)
+		e.actors[i].AdvanceTo(limit)
+		total += len(e.out[i].events)
+	}
+	run := e.runs[s]
+	if cap(run) < total {
+		run = make([]mergeEvent, total, total+total/2)
+	}
+	run = run[:total]
+	x := 0
+	for k := lo; k < hi; k++ {
+		i := e.batch[k]
+		ev := e.out[i].events
+		for j := range ev {
+			at := ev[j].at
+			if at < now {
+				at = now // the clamp At would apply; part of the merge key
+			}
+			run[x] = mergeEvent{at: at, dev: int32(i), emit: int32(j), fn: ev[j].fn}
+			x++
+		}
+		e.out[i].events = ev[:0]
+	}
+	slices.SortFunc(run, mergeCmp)
+	e.runs[s] = run
+}
+
+// mergeRuns reduces the shards' sorted runs to one globally sorted run via a
+// tournament: every round two-way-merges adjacent pairs — concurrently when
+// the engine has workers to spare — so the reduction tree is ⌈log₂ shards⌉
+// deep instead of a serial K-way scan. Each merge node draws a fresh buffer
+// from the mbuf pool (a tournament over S runs is exactly S−1 merges), so no
+// round can write into another's input.
+func (e *Engine) mergeRuns() []mergeEvent {
+	if e.nshards == 0 {
+		return nil
+	}
+	lvl := e.level[:e.nshards]
+	copy(lvl, e.runs[:e.nshards])
+	next := 0 // running buffer index: each merge node owns a distinct slot
+	for n := e.nshards; n > 1; {
+		pairs := n / 2
+		base := next
+		if pairs > 1 && e.workers > 1 {
+			var wg sync.WaitGroup
+			for p := 0; p < pairs; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					e.mbuf[base+p] = mergeTwo(e.mbuf[base+p], lvl[2*p], lvl[2*p+1])
+				}(p)
+			}
+			wg.Wait()
+		} else {
+			for p := 0; p < pairs; p++ {
+				e.mbuf[base+p] = mergeTwo(e.mbuf[base+p], lvl[2*p], lvl[2*p+1])
+			}
+		}
+		next = base + pairs
+		m := pairs
+		if n%2 == 1 {
+			// Odd run passes through untouched; move the header only.
+			lvl[pairs] = lvl[n-1]
+			m++
+		}
+		copy(lvl, e.mbuf[base:next])
+		n = m
+	}
+	return lvl[0]
+}
+
+// mergeTwo two-way-merges sorted runs a and b into dst (grown once,
+// reused across epochs).
+func mergeTwo(dst, a, b []mergeEvent) []mergeEvent {
+	need := len(a) + len(b)
+	if cap(dst) < need {
+		dst = make([]mergeEvent, need, need+need/2)
+	}
+	dst = dst[:need]
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if mergeLess(a[i], b[j]) {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+	return dst
+}
+
+// mergeBatch hands the tournament-merged run of this batch's emissions to
+// the shared scheduler in one bulk append, then re-prices each advanced
+// device's heap key.
+//
+// Byte-identity with the old serial device-index drain: the drain assigned
+// sequence numbers in (device index, emission index) order, and execution
+// order is (time, seq) — so seq only matters between equal-time events,
+// where the sorted run's (clamped time, device index, emission index) key
+// reproduces the identical tie-break. Events appended here always carry
+// larger seqs than everything already queued, and smaller than anything a
+// later callback posts, exactly as before; the heap pop sequence depends
+// only on that total order, so every callback executes at the same virtual
+// time in the same order with the same state, at any worker count.
+//
+//shoggoth:hotpath
+func (e *Engine) mergeBatch() {
+	e.shared.appendSorted(e.mergeRuns())
+	for k := 0; k < e.bn; k++ {
+		e.updateKey(e.batch[k])
 	}
 }
 

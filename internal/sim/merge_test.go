@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"slices"
+	"testing"
+)
+
+// TestMergeRunsEqualsGlobalSort is the pure merge property: for random shard
+// counts and run shapes, the tournament reduction must equal flattening every
+// run and sorting globally — the canonical order the serial drain produced.
+func TestMergeRunsEqualsGlobalSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xC0FFEE, 1))
+	for trial := 0; trial < 300; trial++ {
+		workers := []int{1, 2, 8, 32}[trial%4]
+		e := NewEngine(NewScheduler(), workers)
+		shards := 1 + rng.IntN(workers)
+		e.runs = make([][]mergeEvent, shards)
+		e.mbuf = make([][]mergeEvent, shards)
+		e.level = make([][]mergeEvent, shards)
+		e.nshards = shards
+		var all []mergeEvent
+		for s := 0; s < shards; s++ {
+			n := rng.IntN(25) // empty runs included
+			run := make([]mergeEvent, n)
+			for j := range run {
+				run[j] = mergeEvent{
+					// Coarse times force heavy cross-shard ties.
+					at:   float64(rng.IntN(6)) * 0.5,
+					dev:  int32(s*100 + j), // unique (dev, emit) fleet-wide
+					emit: int32(rng.IntN(4)),
+				}
+			}
+			slices.SortFunc(run, mergeCmp)
+			e.runs[s] = run
+			all = append(all, run...)
+		}
+		got := e.mergeRuns()
+		slices.SortFunc(all, mergeCmp)
+		if len(got) != len(all) {
+			t.Fatalf("trial %d (workers=%d shards=%d): merged %d events, want %d",
+				trial, workers, shards, len(got), len(all))
+		}
+		for i := range got {
+			if got[i].at != all[i].at || got[i].dev != all[i].dev || got[i].emit != all[i].emit {
+				t.Fatalf("trial %d (workers=%d shards=%d): merged[%d] = (%g,%d,%d), want (%g,%d,%d)",
+					trial, workers, shards, i,
+					got[i].at, got[i].dev, got[i].emit,
+					all[i].at, all[i].dev, all[i].emit)
+			}
+		}
+	}
+}
+
+// burstActor emits a seeded random burst of shared events each time it runs —
+// random offsets (including past times that exercise the At clamp) and random
+// burst sizes — so the engine's full advance→merge→append path faces
+// adversarial streams rather than tidy grids.
+type burstActor struct {
+	idx   int
+	sched *Scheduler
+	out   *Outbox
+	rng   *rand.Rand
+	next  float64
+	left  int
+	trace *[]string
+}
+
+func (a *burstActor) NextEventTime() (float64, bool) {
+	if a.left <= 0 {
+		return 0, false
+	}
+	return a.next, true
+}
+
+func (a *burstActor) AdvanceTo(limit float64) {
+	for a.left > 0 && a.next < limit {
+		t := a.next
+		a.sched.AdvanceTo(t)
+		a.left--
+		a.next += 0.1 + a.rng.Float64()
+		burst := a.rng.IntN(4)
+		for b := 0; b < burst; b++ {
+			// Offsets in [-0.5, 1.5): negative ones land before the shared
+			// clock and must clamp identically at every worker count.
+			at := t + a.rng.Float64()*2 - 0.5
+			idx, seq := a.idx, b
+			a.out.At(at, func(now float64) {
+				*a.trace = append(*a.trace, fmt.Sprintf("%.4f dev%d burst%d", now, idx, seq))
+			})
+		}
+		if burst > 0 {
+			return // emission-halt contract
+		}
+	}
+}
+
+func runBurstFleet(t *testing.T, n, workers int, seed uint64, end float64) []string {
+	t.Helper()
+	shared := NewScheduler()
+	eng := NewEngine(shared, workers)
+	var trace []string
+	for i := 0; i < n; i++ {
+		a := &burstActor{
+			idx:   i,
+			sched: NewScheduler(),
+			out:   &Outbox{},
+			rng:   rand.New(rand.NewPCG(seed, uint64(i))),
+			next:  rand.New(rand.NewPCG(seed, uint64(i)^0xABCD)).Float64(),
+			left:  30,
+			trace: &trace,
+		}
+		idx := eng.Add(a, a.out)
+		a.sched.SetWaker(func() { eng.MarkDirty(idx) })
+	}
+	if err := eng.Run(context.Background(), end); err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// TestMergeWorkerCountProperty is the property-style engine check the merge
+// rebuild is held to: seeded random event streams produce a byte-identical
+// shared-event trace at workers ∈ {1, 2, 8, 32}.
+func TestMergeWorkerCountProperty(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		base := runBurstFleet(t, 64, 1, seed, 25)
+		if len(base) == 0 {
+			t.Fatalf("seed %d: no shared events emitted — the run proved nothing", seed)
+		}
+		for _, workers := range []int{2, 8, 32} {
+			got := runBurstFleet(t, 64, workers, seed, 25)
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("seed %d workers=%d diverged from workers=1 (%d vs %d events)",
+					seed, workers, len(got), len(base))
+			}
+		}
+	}
+}

@@ -64,6 +64,52 @@ func (s *Scheduler) At(t float64, fn func(now float64)) {
 	}
 }
 
+// appendSorted bulk-schedules a merged run of outbox emissions already
+// sorted by the fleet merge key (clamped time, device index, emission
+// index), assigning consecutive sequence numbers in run order. Times must
+// already be clamped to ≥ now by the caller (the same clamp At applies).
+//
+// Observationally this is identical to calling At once per event: the heap's
+// pop order depends only on the (at, seq) comparator — a strict total order —
+// never on how entries arrived, and within one merge only equal-time events
+// compare by seq, where run order (device index, emission index) reproduces
+// exactly the tie-break the serial device-index drain used to produce. When
+// the run rivals the heap in size, one O(H+R) heapify replaces R O(log H)
+// sift-ups.
+//
+//shoggoth:hotpath
+func (s *Scheduler) appendSorted(run []mergeEvent) {
+	if len(run) == 0 {
+		return
+	}
+	n := len(s.heap)
+	if cap(s.heap)-n < len(run) {
+		need := n + len(run)
+		grown := make(eventHeap, n, need+need/2)
+		copy(grown, s.heap)
+		s.heap = grown
+	}
+	if len(run) >= n/8 {
+		// Bulk: place everything, then restore the heap invariant once.
+		s.heap = s.heap[:n+len(run)]
+		for i := range run {
+			s.seq++
+			s.heap[n+i] = event{at: run[i].at, seq: s.seq, fn: run[i].fn}
+		}
+		heap.Init(&s.heap)
+	} else {
+		for i := range run {
+			s.seq++
+			heap.Push(&s.heap, event{at: run[i].at, seq: s.seq, fn: run[i].fn})
+		}
+	}
+	if s.waker != nil {
+		for range run {
+			s.waker()
+		}
+	}
+}
+
 // After schedules fn to run delay seconds from now.
 func (s *Scheduler) After(delay float64, fn func(now float64)) {
 	if delay < 0 {

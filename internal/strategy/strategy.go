@@ -46,9 +46,20 @@ func WithSeed(seed uint64) Option { return func(c *core.Config) { c.Seed = seed 
 // WithFixedRate pins the sampling rate (disables the adaptive controller).
 func WithFixedRate(fps float64) Option { return func(c *core.Config) { c.SampleRate = fps } }
 
-// WithFidelity selects the run's simulation fidelity (core.FidelityFull or
-// core.FidelityEvents).
+// WithFidelity selects the run's simulation fidelity (core.FidelityFull,
+// core.FidelityEvents or core.FidelitySampled).
 func WithFidelity(f core.Fidelity) Option { return func(c *core.Config) { c.Fidelity = f } }
+
+// WithSampledFidelity selects sampled fidelity with an explicit sampled
+// device fraction and subset seed (frac 0 defaults to
+// core.DefaultSampledFrac; seed 0 means the run seed stands in).
+func WithSampledFidelity(frac float64, seed uint64) Option {
+	return func(c *core.Config) {
+		c.Fidelity = core.FidelitySampled
+		c.SampledFrac = frac
+		c.SampledSeed = seed
+	}
+}
 
 // WithComputeTier selects the arithmetic tier ("", "exact" or "fast"): the
 // exact tier is the frozen bit-identical default, the fast tier runs the

@@ -105,6 +105,32 @@ func (s *SparseStream) Frame(idx int, t float64) *Frame {
 	return f
 }
 
+// Meta returns the frame's metadata — index, time, domain, complexity —
+// without materializing proposals, tracks or jitter draws. This is the
+// events-fidelity fast path: the analytic cloud cost model prices uploads
+// from byte counts (Complexity), routes on DomainID and derives φ from
+// elapsed time, so fleet devices never need the proposal geometry a full
+// Frame carries.
+func (s *SparseStream) Meta(idx int, t float64) *Frame {
+	p := s.Profile
+	eff := p.EffectiveDomain(t)
+	return &Frame{
+		Index:      idx,
+		Time:       t,
+		Domain:     eff.Name,
+		DomainID:   p.DomainIndexAt(t),
+		Complexity: eff.Complexity,
+	}
+}
+
+// Regions returns the proposal count a materialized frame at time t would
+// carry (objects plus clutter) — the analytic stand-in for len(Proposals)
+// when pricing label-downlink bytes without building the proposals.
+func (s *SparseStream) Regions(t float64) int {
+	eff := s.Profile.EffectiveDomain(t)
+	return int(eff.ObjectRate+0.5) + int(eff.DistractorRate+0.5)
+}
+
 // occupant reconstructs the track occupying a slot at time t: the slot's
 // phase-shifted epoch picks which occupant, and a throwaway PCG keyed by
 // (slot, epoch, kind) regenerates its spawn draws. Position advances

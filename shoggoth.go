@@ -56,13 +56,18 @@ const (
 // the fleet-scale mode: frames are materialized sparsely (only when
 // sampled for upload), no student network is deployed and training is
 // priced but not executed, so a Cluster can carry 100k devices through the
-// event engine. Results of the two fidelities are not comparable.
+// event engine. FidelitySampled is the adaptive middle ground: a seeded
+// deterministic fraction of a Cluster's devices runs full fidelity inside
+// an events-fidelity fleet, and ClusterResults.Sampled extrapolates the
+// fleet's accuracy aggregates with a bootstrap error bound. Results of
+// different fidelities are not comparable.
 type Fidelity = core.Fidelity
 
 // Simulation fidelities (Config.Fidelity).
 const (
-	FidelityFull   = core.FidelityFull
-	FidelityEvents = core.FidelityEvents
+	FidelityFull    = core.FidelityFull
+	FidelityEvents  = core.FidelityEvents
+	FidelitySampled = core.FidelitySampled
 )
 
 // Stock dataset profile names.
@@ -199,9 +204,12 @@ var (
 	WithFixedRate = strategy.WithFixedRate
 	// WithCycles sets the duration in scenario-script passes.
 	WithCycles = strategy.WithCycles
-	// WithFidelity selects the simulation fidelity (FidelityFull or
-	// FidelityEvents).
+	// WithFidelity selects the simulation fidelity (FidelityFull,
+	// FidelityEvents or FidelitySampled).
 	WithFidelity = strategy.WithFidelity
+	// WithSampledFidelity selects sampled fidelity with an explicit device
+	// fraction and subset seed (0 seed: the run seed stands in).
+	WithSampledFidelity = strategy.WithSampledFidelity
 	// WithComputeTier selects the arithmetic tier ("exact" or "fast").
 	WithComputeTier = strategy.WithComputeTier
 	// WithComputeLane selects the fast tier's width ("float64"/"float32").
